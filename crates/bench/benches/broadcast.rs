@@ -1,0 +1,69 @@
+//! Broadcast planning (Fig 3) and the fan-out-cap ablation from DESIGN.md:
+//! planning cost and plan quality (depth) for sequential, spanning-tree
+//! (N ∈ {1, 2, 3, 4, 8}) and clustered strategies at cluster scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vine_core::ids::WorkerId;
+use vine_transfer::{plan_broadcast, Topology};
+
+fn workers(n: u32) -> Vec<WorkerId> {
+    (0..n).map(WorkerId).collect()
+}
+
+fn bench_plan_star(c: &mut Criterion) {
+    let ws = workers(150);
+    c.bench_function("plan_star_150", |b| {
+        b.iter(|| black_box(plan_broadcast(&Topology::Star, &ws).unwrap()))
+    });
+}
+
+fn bench_plan_tree_fanout_sweep(c: &mut Criterion) {
+    let ws = workers(150);
+    let mut group = c.benchmark_group("plan_tree_150");
+    for cap in [1usize, 2, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, cap| {
+            b.iter(|| {
+                let plan =
+                    plan_broadcast(&Topology::FullPeer { fanout_cap: *cap }, &ws).unwrap();
+                // plan quality is part of what the ablation reports
+                black_box((plan.depth(), plan.manager_sends()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_clustered(c: &mut Criterion) {
+    let ws = workers(150);
+    let clusters = vec![ws[..75].to_vec(), ws[75..].to_vec()];
+    let topo = Topology::Clustered {
+        clusters,
+        fanout_cap: 3,
+    };
+    c.bench_function("plan_clustered_2x75", |b| {
+        b.iter(|| black_box(plan_broadcast(&topo, &ws).unwrap()))
+    });
+}
+
+fn bench_plan_scales_with_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_tree_scaling");
+    for n in [50u32, 150, 500, 2000] {
+        let ws = workers(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ws, |b, ws| {
+            b.iter(|| {
+                black_box(plan_broadcast(&Topology::FullPeer { fanout_cap: 3 }, ws).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_star,
+    bench_plan_tree_fanout_sweep,
+    bench_plan_clustered,
+    bench_plan_scales_with_cluster
+);
+criterion_main!(benches);

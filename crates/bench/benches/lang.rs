@@ -1,0 +1,124 @@
+//! vine-lang substrate benchmarks: the code paths every discover/ship/
+//! reconstruct cycle exercises — lexing, parsing, serialization round
+//! trips, interpretation, and the LNNI inference kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vine_lang::{pickle, Interp, Value};
+
+const BIG_SOURCE: &str = r#"
+import nn
+def context_setup(layers, dim) {
+    global model
+    model = nn.load_model(layers, dim)
+}
+def infer(first_image, count) {
+    classes = []
+    for img in range(first_image, first_image + count) {
+        push(classes, nn.forward(model, img))
+    }
+    return classes
+}
+def helper_a(x, y) {
+    if x > y { return x - y } else { return y - x }
+}
+def helper_b(items) {
+    total = 0
+    for it in items {
+        if it % 2 == 0 { total += it } else { total -= it }
+    }
+    return total
+}
+"#;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    group.throughput(Throughput::Bytes(BIG_SOURCE.len() as u64));
+    group.bench_function("lnni_module", |b| {
+        b.iter(|| black_box(vine_lang::parse(BIG_SOURCE).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_pickle_roundtrip(c: &mut Criterion) {
+    // a result payload like LNNI's: a list of 1,600 class ids
+    let classes = Value::list((0..1600).map(|i| Value::Int(i % 1000)).collect());
+    let blob = pickle::serialize_value(&classes).unwrap();
+    let mut group = c.benchmark_group("pickle");
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("serialize_result_1600", |b| {
+        b.iter(|| black_box(pickle::serialize_value(&classes).unwrap()))
+    });
+    group.bench_function("deserialize_result_1600", |b| {
+        let globals = std::rc::Rc::new(std::cell::RefCell::new(Default::default()));
+        b.iter(|| black_box(pickle::deserialize_value(&blob, &globals).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_function_shipping(c: &mut Criterion) {
+    // discover → serialize → reconstruct: the cloudpickle path
+    let prog = vine_lang::parse(BIG_SOURCE).unwrap();
+    let def = prog
+        .iter()
+        .find_map(|s| match s {
+            vine_lang::Stmt::FuncDef(d) if d.name == "infer" => Some(d.clone()),
+            _ => None,
+        })
+        .unwrap();
+    let blob = pickle::serialize_funcdef(&def);
+    c.bench_function("ship_function_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = pickle::serialize_funcdef(black_box(&def));
+            black_box(pickle::deserialize_funcdef(&bytes).unwrap())
+        })
+    });
+    c.bench_function("extract_source_inspect", |b| {
+        b.iter(|| black_box(vine_lang::inspect::extract_source(BIG_SOURCE, "infer").unwrap()))
+    });
+    let _ = blob;
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    c.bench_function("interp_fib_18", |b| {
+        let mut interp = Interp::new();
+        interp
+            .exec_source("def fib(n) { if n < 2 { return n }\nreturn fib(n-1) + fib(n-2) }")
+            .unwrap();
+        b.iter(|| black_box(interp.call_global("fib", &[Value::Int(18)]).unwrap()))
+    });
+}
+
+fn bench_nn_forward(c: &mut Criterion) {
+    // the real LNNI kernel at two model sizes
+    let mut group = c.benchmark_group("nn_forward");
+    for dim in [32i64, 128] {
+        let mut interp = Interp::with_registry(vine_apps::modules::full_registry());
+        interp.exec_source(vine_apps::lnni::LNNI_SOURCE).unwrap();
+        interp
+            .exec_source(&format!("context_setup(4, {dim})"))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, move |b, _| {
+            let mut img = 0i64;
+            b.iter(|| {
+                img += 1;
+                black_box(
+                    interp
+                        .call_global("infer", &[Value::Int(img), Value::Int(1)])
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_pickle_roundtrip,
+    bench_function_shipping,
+    bench_interpreter,
+    bench_nn_forward
+);
+criterion_main!(benches);

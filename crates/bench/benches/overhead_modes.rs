@@ -1,0 +1,90 @@
+//! Live per-invocation overhead by execution mode — the microbenchmark
+//! behind the paper's Table 2: how much does it cost to run one trivial
+//! function locally, as a reloaded stateless task, and as an invocation
+//! against a retained library context?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vine_core::context::CodeArtifact;
+use vine_core::ids::TaskId;
+use vine_core::task::TaskSpec;
+use vine_lang::{pickle, Interp, ModuleRegistry, Value};
+use vine_runtime::worker_host::execute_task;
+
+const MODULE_SRC: &str = r#"
+def context_setup(n) {
+    global table
+    table = []
+    for i in range(n) { push(table, i * i) }
+}
+def lookup(i) {
+    return table[i]
+}
+"#;
+
+fn bench_local_invocation(c: &mut Criterion) {
+    // the paper's "Local Invocation" row: a warm interpreter, direct call
+    let mut interp = Interp::new();
+    interp.exec_source(MODULE_SRC).unwrap();
+    interp.exec_source("context_setup(512)").unwrap();
+    c.bench_function("local_invocation", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(interp.call_global("lookup", &[Value::Int(i)]).unwrap())
+        })
+    });
+}
+
+fn bench_task_reload(c: &mut Criterion) {
+    // the "Remote Task" cost structure: every execution reconstructs the
+    // code AND re-runs the context setup
+    let mut task = TaskSpec::new(TaskId(1), "wrapped");
+    task.code = vec![CodeArtifact::Source {
+        name: "module".into(),
+        text: format!("{MODULE_SRC}\ncontext_setup(512)"),
+    }];
+    task.function = Some("lookup".into());
+    task.args_blob = pickle::serialize_args(&[Value::Int(7)]).unwrap();
+    c.bench_function("task_reloads_context", |b| {
+        b.iter(|| black_box(execute_task(&task, ModuleRegistry::new())))
+    });
+}
+
+fn bench_invocation_reuses_context(c: &mut Criterion) {
+    // the "Remote Invocation" cost structure: context set up once, each
+    // call pays only argument deserialization + execution + result
+    // serialization
+    let mut interp = Interp::new();
+    interp.exec_source(MODULE_SRC).unwrap();
+    interp.exec_source("context_setup(512)").unwrap();
+    let args_blob = pickle::serialize_args(&[Value::Int(7)]).unwrap();
+    c.bench_function("invocation_reuses_context", |b| {
+        b.iter(|| {
+            let args = pickle::deserialize_args(&args_blob, &interp.globals).unwrap();
+            let out = interp.call_global("lookup", &args).unwrap();
+            black_box(pickle::serialize_value(&out).unwrap())
+        })
+    });
+}
+
+fn bench_context_setup_itself(c: &mut Criterion) {
+    // what reuse amortizes away: the setup cost itself
+    c.bench_function("context_setup_cost", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new();
+            interp.exec_source(MODULE_SRC).unwrap();
+            interp.exec_source("context_setup(512)").unwrap();
+            black_box(interp.get_global("table").unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_local_invocation,
+    bench_task_reload,
+    bench_invocation_reuses_context,
+    bench_context_setup_itself
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all [--scale 0.05] [--json]
+//! repro fig6a table4 ...
+//! repro --list
+//! ```
+
+use bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut json = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s| *s > 0.0 && *s <= 1.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale expects a number in (0, 1]");
+                        std::process::exit(2);
+                    });
+            }
+            "--json" => json = true,
+            "--list" => {
+                for id in experiments::IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [all | <id>...] [--scale S] [--json]\n\
+                     experiments: {}",
+                    experiments::IDS.join(", ")
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!("# vine-rs reproduction at scale {scale}");
+    for id in &ids {
+        match experiments::by_id(id, scale) {
+            Some(table) => {
+                if json {
+                    println!("{}", table.to_json());
+                } else {
+                    table.print();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

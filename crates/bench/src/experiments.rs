@@ -1,0 +1,543 @@
+//! One function per table/figure of the paper's evaluation (§4).
+//!
+//! Every experiment accepts a `scale` in (0, 1]: 1.0 reproduces the paper's
+//! full workload sizes (100k/10k invocations, 150 workers); smaller values
+//! shrink the invocation count for quick runs (worker counts and all cost
+//! constants stay faithful). Scaling below 1.0 changes absolute totals —
+//! the *relative* shape is what survives.
+
+use crate::table::Table;
+use vine_core::config::ReuseLevel;
+use vine_core::time::SimDuration;
+use vine_lang::Value;
+use vine_sim::{simulate, SimConfig, SimResult};
+use vine_apps::{ExaMolConfig, ExaMolWorkload, LnniConfig, LnniWorkload};
+use vine_transfer::{plan_broadcast, Topology};
+
+fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale).round() as u64).max(50)
+}
+
+/// Run LNNI in the simulator.
+pub fn run_lnni(
+    level: ReuseLevel,
+    invocations: u64,
+    inferences: u64,
+    workers: usize,
+) -> SimResult {
+    let mut w = LnniWorkload::new(LnniConfig {
+        invocations,
+        inferences_per_invocation: inferences,
+        level,
+        seed: 0x6c6e6e69,
+        library_strategy: vine_apps::lnni::LibraryStrategy::PerSlot,
+    });
+    simulate(SimConfig::paper(level, workers), &mut w)
+}
+
+/// Run ExaMol in the simulator.
+pub fn run_examol(level: ReuseLevel, tasks: u64, workers: usize) -> SimResult {
+    let mut cfg = ExaMolConfig::paper(level);
+    cfg.total_tasks = tasks;
+    cfg.initial_batch = cfg.initial_batch.min(tasks);
+    let mut w = ExaMolWorkload::new(cfg);
+    simulate(SimConfig::paper(level, workers), &mut w)
+}
+
+/// Table 2: overhead of executing 1,000 trivial functions on one worker in
+/// three modes — Local Invocation (measured live), Remote Task, Remote
+/// Invocation.
+pub fn table2(scale: f64) -> Table {
+    let n = scaled(1_000, scale);
+    let mut t = Table::new(
+        "table2",
+        "Overhead of Executing 1,000 Trivial Functions (paper Table 2)",
+        &["total_s", "overhead_per_worker_s", "overhead_per_invocation_s"],
+    );
+
+    // Local Invocation: really run the trivial function in-process
+    let mut interp = vine_lang::Interp::new();
+    interp
+        .exec_source("def trivial(a, b) { return a + b }")
+        .unwrap();
+    let started = std::time::Instant::now();
+    for i in 0..n {
+        let _ = interp
+            .call_global("trivial", &[Value::Int(i as i64), Value::Int(1)])
+            .unwrap();
+    }
+    let local_total = started.elapsed().as_secs_f64();
+    t.row(
+        "Local Invocation",
+        vec![local_total / n as f64, 0.0, local_total / n as f64],
+    );
+
+    // Remote Task: each execution is a whole-worker stateless task that
+    // reloads the wrapper (the paper's harness runs Table 2's tasks
+    // exclusively: total 211.06 s = 20.65 s worker startup + 1,000 × 0.19 s)
+    struct Trivial {
+        n: u64,
+        as_calls: bool,
+    }
+    impl vine_sim::Workload for Trivial {
+        fn libraries(
+            &self,
+        ) -> Vec<(vine_core::context::LibrarySpec, vine_core::task::WorkProfile)> {
+            if !self.as_calls {
+                return Vec::new();
+            }
+            let mut spec = vine_core::context::LibrarySpec::new("trivial");
+            spec.functions = vec!["trivial".into()];
+            // two slots: the worker executes one invocation while the
+            // manager prepares the next (the pipelining behind Table 2's
+            // 2.52 ms steady-state rate)
+            spec.slots = Some(2);
+            vec![(spec, vine_core::task::WorkProfile::zero())]
+        }
+        fn initial_units(&mut self) -> Vec<vine_core::task::WorkUnit> {
+            (0..self.n)
+                .map(|i| {
+                    let profile = vine_core::task::WorkProfile {
+                        exec_gflop: 0.05, // trivial addition
+                        ..vine_core::task::WorkProfile::zero()
+                    };
+                    if self.as_calls {
+                        let mut c = vine_core::task::FunctionCall::new(
+                            vine_core::ids::InvocationId(i),
+                            "trivial",
+                            "trivial",
+                            vec![0u8; 16],
+                        );
+                        c.resources = vine_core::resources::Resources::paper_worker();
+                        c.profile = profile;
+                        vine_core::task::WorkUnit::Call(c)
+                    } else {
+                        let mut task = vine_core::task::TaskSpec::new(
+                            vine_core::ids::TaskId(i),
+                            "trivial",
+                        );
+                        task.function = Some("trivial".into());
+                        task.resources = vine_core::resources::Resources::paper_worker();
+                        task.profile = profile;
+                        vine_core::task::WorkUnit::Task(task)
+                    }
+                })
+                .collect()
+        }
+    }
+    let startup = SimConfig::colocated(ReuseLevel::L1)
+        .cost
+        .worker_startup
+        .as_secs_f64();
+    let r = simulate(
+        SimConfig::colocated(ReuseLevel::L1),
+        &mut Trivial { n, as_calls: false },
+    );
+    let total = r.end.as_secs_f64();
+    t.row(
+        "Remote Task",
+        vec![total, startup, (total - startup) / n as f64],
+    );
+
+    let r = simulate(
+        SimConfig::colocated(ReuseLevel::L3),
+        &mut Trivial { n, as_calls: true },
+    );
+    let total = r.end.as_secs_f64();
+    t.row(
+        "Remote Invocation",
+        vec![total, startup, (total - startup) / n as f64],
+    );
+    t.note(format!("n = {n} trivial functions, 1 worker, manager co-located"));
+    t.note("paper: Local 8.89e-5 | Task 211.06 / 20.65 / 0.19 | Invocation 22.46 / 19.94 / 2.52e-3");
+    t
+}
+
+/// Fig 6a: LNNI 100k invocations, 150 workers, execution time per level.
+pub fn fig6a(scale: f64) -> Table {
+    let n = scaled(100_000, scale);
+    let mut t = Table::new(
+        "fig6a",
+        "LNNI Execution Time by Reuse Level (paper Fig 6a)",
+        &["execution_time_s"],
+    );
+    let mut l1 = f64::NAN;
+    let mut l3 = f64::NAN;
+    for level in ReuseLevel::ALL {
+        let r = run_lnni(level, n, 16, 150);
+        let secs = r.makespan.as_secs_f64();
+        if level == ReuseLevel::L1 {
+            l1 = secs;
+        }
+        if level == ReuseLevel::L3 {
+            l3 = secs;
+        }
+        t.row(level.name(), vec![secs]);
+    }
+    t.note(format!(
+        "L1→L3 reduction: {:.1}% (paper: 94.5%, 7,485 s → 414 s)",
+        (1.0 - l3 / l1) * 100.0
+    ));
+    t.note(format!("n = {n} invocations × 16 inferences, 150 workers"));
+    t
+}
+
+/// Fig 6b: ExaMol 10k tasks, 150 workers. L3 was unsupported in the paper
+/// ("it's unclear whether arbitrary functions can fit..."); we add it as an
+/// extension row.
+pub fn fig6b(scale: f64) -> Table {
+    let n = scaled(10_000, scale);
+    let mut t = Table::new(
+        "fig6b",
+        "ExaMol Execution Time by Reuse Level (paper Fig 6b)",
+        &["execution_time_s"],
+    );
+    let l1 = run_examol(ReuseLevel::L1, n, 150).makespan.as_secs_f64();
+    let l2 = run_examol(ReuseLevel::L2, n, 150).makespan.as_secs_f64();
+    t.row("L1", vec![l1]);
+    t.row("L2", vec![l2]);
+    let l3 = run_examol(ReuseLevel::L3, n, 150).makespan.as_secs_f64();
+    t.row("L3 (extension)", vec![l3]);
+    t.note(format!(
+        "L1→L2 reduction: {:.1}% (paper: 26.9%, 4,600 s → 3,364 s); L3 row is our extension beyond the paper",
+        (1.0 - l2 / l1) * 100.0
+    ));
+    t.note(format!("n = {n} tasks, 150 workers"));
+    t
+}
+
+/// Fig 7: histogram of LNNI invocation run times per level (clipped at
+/// 40 s like the paper).
+pub fn fig7(scale: f64) -> Table {
+    let n = scaled(100_000, scale);
+    let bins = 20;
+    let mut t = Table::new(
+        "fig7",
+        "Histogram of LNNI Invocation Run Times (paper Fig 7)",
+        &["L1", "L2", "L3"],
+    );
+    let histograms: Vec<_> = ReuseLevel::ALL
+        .iter()
+        .map(|level| {
+            run_lnni(*level, n, 16, 150)
+                .trace
+                .runtime_histogram(0.0, 40.0, bins)
+        })
+        .collect();
+    for b in 0..bins {
+        let lo = b as f64 * 2.0;
+        t.row(
+            format!("{:>4.1}–{:>4.1}s", lo, lo + 2.0),
+            histograms.iter().map(|h| h.counts[b] as f64).collect(),
+        );
+    }
+    t.row(
+        ">40s",
+        histograms.iter().map(|h| h.overflow as f64).collect(),
+    );
+    t.note(format!(
+        "modes: L1 ≈ {:.1}s, L2 ≈ {:.1}s, L3 ≈ {:.1}s (paper: L1 12–20s, L2 10–16s, L3 3–7s)",
+        histograms[0].mode_center(),
+        histograms[1].mode_center(),
+        histograms[2].mode_center()
+    ));
+    t
+}
+
+/// Table 4: invocation run-time statistics per level.
+pub fn table4(scale: f64) -> Table {
+    let n = scaled(100_000, scale);
+    let mut t = Table::new(
+        "table4",
+        "LNNI Invocation Run Time Statistics (paper Table 4)",
+        &["mean_s", "std_dev_s", "min_s", "max_s"],
+    );
+    for level in ReuseLevel::ALL {
+        let stats = run_lnni(level, n, 16, 150).trace.runtime_stats();
+        t.row(
+            level.name(),
+            vec![stats.mean, stats.std_dev, stats.min, stats.max],
+        );
+    }
+    t.note("paper: L1 21.59/34.78/6.71/289.72 | L2 13.48/3.68/6.09/45.33 | L3 4.77/3.43/2.67/39.51");
+    t
+}
+
+/// Fig 8: effect of invocation length (16/160/1600 inferences) on
+/// execution time; 10k invocations, 100 workers.
+pub fn fig8(scale: f64) -> Table {
+    let n = scaled(10_000, scale);
+    let mut t = Table::new(
+        "fig8",
+        "Effect of Invocation Run Time on Execution Time (paper Fig 8)",
+        &["L1_s", "L2_s", "L3_s", "L3_vs_L1_reduction_pct"],
+    );
+    for inferences in [16u64, 160, 1_600] {
+        let times: Vec<f64> = ReuseLevel::ALL
+            .iter()
+            .map(|level| {
+                run_lnni(*level, n, inferences, 100).makespan.as_secs_f64()
+            })
+            .collect();
+        let reduction = (1.0 - times[2] / times[0]) * 100.0;
+        t.row(
+            format!("{inferences} inferences"),
+            vec![times[0], times[1], times[2], reduction],
+        );
+    }
+    t.note("paper reductions (L3 vs L1): 81% @16, 41.3% @160, 15.6% @1600 — shrinking as invocations lengthen");
+    t
+}
+
+/// Fig 9: effect of worker count on execution time; 10k invocations.
+pub fn fig9(scale: f64) -> Table {
+    let n = scaled(10_000, scale);
+    let mut t = Table::new(
+        "fig9",
+        "Effect of Worker Count on Execution Time (paper Fig 9)",
+        &["L1_s", "L2_s", "L3_s"],
+    );
+    for workers in [50usize, 100, 150] {
+        let times: Vec<f64> = ReuseLevel::ALL
+            .iter()
+            .map(|level| run_lnni(*level, n, 16, workers).makespan.as_secs_f64())
+            .collect();
+        t.row(format!("{workers} workers"), times);
+    }
+    // the paper's text: L3 at 10 and 25 workers degrades to 455 s / 145 s
+    for workers in [10usize, 25] {
+        let l3 = run_lnni(ReuseLevel::L3, n, 16, workers).makespan.as_secs_f64();
+        t.row(format!("{workers} workers (L3 only)"), vec![f64::NAN, f64::NAN, l3]);
+    }
+    t.note("paper: L3 flat across 50–150 workers; L1/L2 improve slightly; L3 degrades to 455 s @10 and 145 s @25 workers");
+    t
+}
+
+/// Fig 10: deployed libraries vs invocations completed (LNNI L3).
+pub fn fig10(scale: f64) -> Table {
+    let n = scaled(100_000, scale);
+    let r = run_lnni(ReuseLevel::L3, n, 16, 150);
+    let series = r.trace.active_libraries_series((n / 20).max(1));
+    let mut t = Table::new(
+        "fig10",
+        "Deployed Libraries vs Invocations Completed (paper Fig 10)",
+        &["active_libraries"],
+    );
+    for (x, y) in &series.points {
+        t.row(format!("{x} done"), vec![*y]);
+    }
+    t.note("paper: quick ramp, then ~2,000 active libraries on 150 workers");
+    t
+}
+
+/// Fig 11: average library share value vs invocations completed.
+pub fn fig11(scale: f64) -> Table {
+    let n = scaled(100_000, scale);
+    let r = run_lnni(ReuseLevel::L3, n, 16, 150);
+    let series = r.trace.avg_share_series((n / 20).max(1));
+    let mut t = Table::new(
+        "fig11",
+        "Average Library Share Value vs Invocations Completed (paper Fig 11)",
+        &["avg_invocations_per_library"],
+    );
+    for (x, y) in &series.points {
+        t.row(format!("{x} done"), vec![*y]);
+    }
+    t.note("paper: share value grows linearly with completions");
+    t
+}
+
+/// Table 5: overhead breakdown, manager and worker co-located.
+pub fn table5() -> Table {
+    let mut t = Table::new(
+        "table5",
+        "Overhead Breakdown of LNNI Invocations (paper Table 5)",
+        &["transfer_s", "worker_overhead_s", "library_invoc_overhead_s", "exec_s"],
+    );
+
+    // L2: two whole-worker sequential invocations — first cold, second hot
+    let mut w = LnniWorkload::new(LnniConfig {
+        invocations: 2,
+        inferences_per_invocation: 16,
+        level: ReuseLevel::L2,
+        seed: 7,
+        library_strategy: vine_apps::lnni::LibraryStrategy::PerSlot,
+    });
+    let mut cfg = SimConfig::colocated(ReuseLevel::L2);
+    cfg.worker_resources = vine_core::resources::Resources::paper_worker();
+    let r = simulate(cfg, &mut w);
+    let mut records = r.trace.invocations.clone();
+    records.sort_by_key(|x| x.dispatched);
+    for (label, rec) in [("L2 (Cold)", &records[0]), ("L2 (Hot)", &records[1])] {
+        let p = rec.phases;
+        t.row(
+            label,
+            vec![
+                p.transfer.as_secs_f64(),
+                p.worker_overhead.as_secs_f64(),
+                p.library_overhead.as_secs_f64(),
+                p.exec.as_secs_f64(),
+            ],
+        );
+    }
+
+    // L3: one library install + one invocation
+    let mut w = LnniWorkload::new(LnniConfig {
+        invocations: 1,
+        inferences_per_invocation: 16,
+        level: ReuseLevel::L3,
+        seed: 7,
+        library_strategy: vine_apps::lnni::LibraryStrategy::PerSlot,
+    });
+    let r = simulate(SimConfig::colocated(ReuseLevel::L3), &mut w);
+    let lib = &r.trace.libraries[0];
+    t.row(
+        "L3 (Library)",
+        vec![
+            lib.phases.transfer.as_secs_f64(),
+            lib.phases.worker_overhead.as_secs_f64(),
+            lib.phases.library_overhead.as_secs_f64(),
+            f64::NAN, // the library does no work itself (§3.4)
+        ],
+    );
+    let inv = &r.trace.invocations[0];
+    t.row(
+        "L3 (Invoc.)",
+        vec![
+            inv.phases.transfer.as_secs_f64(),
+            inv.phases.worker_overhead.as_secs_f64(),
+            inv.phases.library_overhead.as_secs_f64(),
+            inv.phases.exec.as_secs_f64(),
+        ],
+    );
+    t.note("paper: L2-Cold 1.004/15.435/0.403/5.469 | L2-Hot 5.22e-4/1.18e-3/0.327/5.046 | L3-Lib 0.989/15.251/2.729/– | L3-Invoc 2.34e-4/2.75e-4/5.14e-4/3.079");
+    t
+}
+
+/// Fig 3 (mechanism): modeled completion time of broadcasting the 572 MB
+/// LNNI environment to 150 workers under the three distribution strategies.
+pub fn fig3() -> Table {
+    let workers: Vec<vine_core::ids::WorkerId> =
+        (0..150).map(vine_core::ids::WorkerId).collect();
+    let cost = vine_core::CostModel::paper();
+    let per_hop = SimDuration::for_transfer(
+        vine_env::catalog::LNNI_PACKED_BYTES,
+        cost.nic_bytes_per_sec,
+    )
+    .as_secs_f64();
+
+    let mut t = Table::new(
+        "fig3",
+        "Broadcast Strategies: 572 MB Environment to 150 Workers (paper Fig 3)",
+        &["serialized_rounds", "modeled_completion_s", "manager_sends"],
+    );
+    let clusters = vec![
+        workers[..75].to_vec(),
+        workers[75..].to_vec(),
+    ];
+    for (label, topo) in [
+        ("(a) no worker-to-worker", Topology::Star),
+        (
+            "(b) spanning tree, cap 3",
+            Topology::FullPeer { fanout_cap: 3 },
+        ),
+        (
+            "(c) two clusters, cap 3",
+            Topology::Clustered {
+                clusters,
+                fanout_cap: 3,
+            },
+        ),
+    ] {
+        let plan = plan_broadcast(&topo, &workers).unwrap();
+        t.row(
+            label,
+            vec![
+                plan.depth() as f64,
+                plan.depth() as f64 * per_hop,
+                plan.manager_sends() as f64,
+            ],
+        );
+    }
+    t.note(format!("one 572 MB transfer over a 10 Gb/s link = {per_hop:.2} s"));
+    t
+}
+
+/// Ablations of DESIGN.md's design decisions at system level: library
+/// sizing strategy (§3.5.2) and peer transfer (Fig 3a vs 3b), measured on
+/// the LNNI workload.
+pub fn ablations(scale: f64) -> Table {
+    // capped at 5k invocations: ablation contrasts are visible well below
+    // full scale and the row count is 4 cluster runs
+    let n = scaled(20_000, scale.min(0.25));
+    let mut t = Table::new(
+        "ablations",
+        "Design Ablations on LNNI (DESIGN.md §5)",
+        &["execution_time_s"],
+    );
+    let run = |level: ReuseLevel,
+               strategy: vine_apps::lnni::LibraryStrategy,
+               peer: bool| {
+        let mut w = LnniWorkload::new(LnniConfig {
+            invocations: n,
+            inferences_per_invocation: 16,
+            level,
+            seed: 0x6c6e6e69,
+            library_strategy: strategy,
+        });
+        let mut cfg = SimConfig::paper(level, 150);
+        cfg.peer_transfer = peer;
+        simulate(cfg, &mut w).makespan.as_secs_f64()
+    };
+    use vine_apps::lnni::LibraryStrategy::*;
+    t.row("L3 per-slot libraries + peer transfer (baseline)", vec![run(ReuseLevel::L3, PerSlot, true)]);
+    t.row("L3 whole-worker libraries (16 slots)", vec![run(ReuseLevel::L3, WholeWorker, true)]);
+    t.row("L3 sequential broadcast (no peer transfer)", vec![run(ReuseLevel::L3, PerSlot, false)]);
+    t.row("L2 sequential broadcast (no peer transfer)", vec![run(ReuseLevel::L2, PerSlot, false)]);
+    t.note(format!("n = {n} invocations × 16 inferences, 150 workers"));
+    t.note("whole-worker libraries pay one setup per 16 slots instead of 16; no-peer staging serializes the 802 MB context on the manager uplink");
+    t
+}
+
+/// All experiments in paper order.
+pub fn all(scale: f64) -> Vec<Table> {
+    vec![
+        table2(scale),
+        fig3(),
+        fig6a(scale),
+        fig6b(scale),
+        fig7(scale),
+        table4(scale),
+        ablations(scale),
+        fig8(scale),
+        fig9(scale),
+        fig10(scale),
+        fig11(scale),
+        table5(),
+    ]
+}
+
+/// Experiment ids accepted by the `repro` binary.
+pub const IDS: &[&str] = &[
+    "table2", "fig3", "fig6a", "fig6b", "fig7", "table4", "fig8", "fig9", "fig10", "fig11",
+    "table5", "ablations",
+];
+
+/// Run one experiment by id.
+pub fn by_id(id: &str, scale: f64) -> Option<Table> {
+    Some(match id {
+        "table2" => table2(scale),
+        "fig3" => fig3(),
+        "fig6a" => fig6a(scale),
+        "fig6b" => fig6b(scale),
+        "fig7" => fig7(scale),
+        "table4" => table4(scale),
+        "fig8" => fig8(scale),
+        "fig9" => fig9(scale),
+        "fig10" => fig10(scale),
+        "fig11" => fig11(scale),
+        "table5" => table5(),
+        "ablations" => ablations(scale),
+        _ => return None,
+    })
+}

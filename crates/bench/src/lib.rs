@@ -1,0 +1,12 @@
+//! # bench
+//!
+//! The experiment harness. [`experiments`] has one function per table and
+//! figure of the paper's evaluation; [`table::Table`] is the common output
+//! shape (printable and JSON-serializable). The `repro` binary dispatches
+//! by experiment id; the Criterion benches in `benches/` measure the
+//! latency-critical substrate paths and the DESIGN.md ablations.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,116 @@
+//! Common result table: printable, serializable, comparable.
+
+use serde::Serialize;
+
+/// One experiment's output: labeled rows of numeric columns.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<(String, Vec<f64>)>,
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        debug_assert_eq!(values.len(), self.columns.len());
+        self.rows.push((label.into(), values));
+        self
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        let (_, values) = self.rows.iter().find(|(l, _)| l == row)?;
+        values.get(c).copied()
+    }
+
+    /// Render as a markdown-ish table.
+    pub fn render(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([8])
+            .max()
+            .unwrap();
+        out.push_str(&format!("| {:label_w$} |", ""));
+        for c in &self.columns {
+            out.push_str(&format!(" {c:>14} |"));
+        }
+        out.push('\n');
+        out.push_str(&format!("|{}|", "-".repeat(label_w + 2)));
+        for _ in &self.columns {
+            out.push_str(&format!("{}|", "-".repeat(16)));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("| {label:label_w$} |"));
+            for v in values {
+                out.push_str(&format!(" {:>14} |", format_value(*v)));
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Table::new("t1", "demo", &["a", "b"]);
+        t.row("r1", vec![1.0, 2.0]).row("r2", vec![3.5, 4000.0]);
+        t.note("a note");
+        assert_eq!(t.get("r1", "a"), Some(1.0));
+        assert_eq!(t.get("r2", "b"), Some(4000.0));
+        assert_eq!(t.get("r3", "a"), None);
+        assert_eq!(t.get("r1", "c"), None);
+        let rendered = t.render();
+        assert!(rendered.contains("r1"));
+        assert!(rendered.contains("4000"));
+        assert!(rendered.contains("a note"));
+        assert!(t.to_json().contains("\"id\": \"t1\""));
+    }
+}

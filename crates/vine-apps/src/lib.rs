@@ -1,0 +1,28 @@
+//! # vine-apps
+//!
+//! The two applications of the paper's evaluation (§4.1):
+//!
+//! * [`lnni`] — **Large-Scale Neural Network Inference**: 10k–100k
+//!   invocations, each running 16–1,600 inferences on a pretrained
+//!   ResNet50-class model. The function context is a 572 MB packed / 3.1 GB
+//!   unpacked environment plus ~230 MB of model parameters that must be
+//!   loaded and built into a model object before inferring.
+//! * [`examol`] — **ExaMol**: active-learning molecular design combining
+//!   PM7 semi-empirical simulations with ML training and inference,
+//!   ~10k tasks steered by a Colmena-style feedback loop.
+//!
+//! Each application exists in two forms that share the same function
+//! sources:
+//!
+//! * a **live** form — real vine-lang functions plus native modules
+//!   ([`modules`]) executed by the threaded runtime at laptop scale;
+//! * a **simulated** form — a [`vine_sim::Workload`] with
+//!   [`vine_core::task::WorkProfile`]s calibrated to Tables 2/4/5, run at
+//!   full paper scale by the discrete-event simulator.
+
+pub mod examol;
+pub mod lnni;
+pub mod modules;
+
+pub use examol::{ExaMolConfig, ExaMolWorkload};
+pub use lnni::{LnniConfig, LnniWorkload};

@@ -1,0 +1,337 @@
+//! Native modules the applications import — the "software dependencies"
+//! their environments install.
+//!
+//! * [`nn_module`] — a dense neural-network stand-in for the
+//!   TensorFlow/Keras stack LNNI uses: `load_model` is the expensive
+//!   context-setup step (builds all layer weights), `forward` is the
+//!   per-inference compute.
+//! * [`chem_module`] — PM7-flavoured molecular "simulation", plus tiny
+//!   train/infer helpers, standing in for OpenMOPAC/Scikit-Learn/RDKit.
+//!
+//! All functions are deterministic (weights and energies derive from
+//! index-based formulas), so live-runtime results are reproducible and
+//! testable.
+
+use std::rc::Rc;
+use vine_lang::modules::{native, ModuleRegistry};
+use vine_lang::value::{NativeFunc, Tensor, Value};
+use vine_core::VineError;
+
+/// Deterministic pseudo-random weight for position (layer, i).
+fn weight_at(layer: usize, i: usize) -> f64 {
+    // splitmix-style hash → (-0.5, 0.5)
+    let mut x = (layer as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    (x as f64 / u64::MAX as f64) - 0.5
+}
+
+/// The `nn` module: `load_model(layers, dim)`, `forward(model, input_id)`,
+/// `classes(model)`.
+pub fn nn_module() -> Vec<(String, Rc<NativeFunc>)> {
+    vec![
+        // load_model(layers, dim) -> model (a dict of weight tensors).
+        // This is the reusable-context part: building it is O(layers·dim²).
+        native("load_model", |args| {
+            if args.len() != 2 {
+                return Err(VineError::Lang("load_model(layers, dim)".into()));
+            }
+            let layers = args[0].as_int()?.max(1) as usize;
+            let dim = args[1].as_int()?.max(1) as usize;
+            let mut model = std::collections::BTreeMap::new();
+            for l in 0..layers {
+                let mut data = Vec::with_capacity(dim * dim);
+                for i in 0..dim * dim {
+                    data.push(weight_at(l, i));
+                }
+                model.insert(
+                    format!("w{l}"),
+                    Value::tensor(Tensor::new(vec![dim, dim], data).expect("square")),
+                );
+            }
+            model.insert("layers".into(), Value::Int(layers as i64));
+            model.insert("dim".into(), Value::Int(dim as i64));
+            Ok(Value::dict(model))
+        }),
+        // forward(model, input_id) -> predicted class (argmax of the final
+        // activation). Input is synthesized deterministically from its id.
+        native("forward", |args| {
+            if args.len() != 2 {
+                return Err(VineError::Lang("forward(model, input_id)".into()));
+            }
+            let model = match &args[0] {
+                Value::Dict(d) => d.borrow().clone(),
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "forward: model must be dict, got {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            let input_id = args[1].as_int()?;
+            let layers = model
+                .get("layers")
+                .ok_or_else(|| VineError::Lang("model missing 'layers'".into()))?
+                .as_int()? as usize;
+            let dim = model
+                .get("dim")
+                .ok_or_else(|| VineError::Lang("model missing 'dim'".into()))?
+                .as_int()? as usize;
+            // input vector derived from the id
+            let mut x: Vec<f64> = (0..dim)
+                .map(|i| weight_at(usize::MAX, i ^ input_id as usize))
+                .collect();
+            for l in 0..layers {
+                let w = model
+                    .get(&format!("w{l}"))
+                    .ok_or_else(|| VineError::Lang(format!("model missing w{l}")))?;
+                let w = w.as_tensor()?;
+                let mut y = vec![0.0; dim];
+                for (r, yr) in y.iter_mut().enumerate() {
+                    let row = &w.data[r * dim..(r + 1) * dim];
+                    let mut acc = 0.0;
+                    for (a, b) in row.iter().zip(&x) {
+                        acc += a * b;
+                    }
+                    // ReLU keeps activations bounded-ish and nonlinear
+                    *yr = acc.max(0.0);
+                }
+                x = y;
+            }
+            let class = x
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i as i64)
+                .unwrap_or(0);
+            Ok(Value::Int(class))
+        }),
+    ]
+}
+
+/// Deterministic "PM7 energy" for a molecule id at a given effort.
+fn pm7_energy(molecule: i64, steps: i64) -> f64 {
+    let mut e = 0.0f64;
+    let mut state = molecule as f64 * 0.618_033_988;
+    for s in 0..steps.max(1) {
+        state = (state * 1.000_001 + s as f64 * 1e-7).sin();
+        e += state * state;
+    }
+    -(e / steps.max(1) as f64) * 10.0 - (molecule % 97) as f64 * 0.01
+}
+
+/// The `chem` module: `simulate(molecule, steps)`, `train(xs, ys)`,
+/// `predict(model, molecule)`.
+pub fn chem_module() -> Vec<(String, Rc<NativeFunc>)> {
+    vec![
+        // simulate(molecule, steps) -> ionization-potential-ish energy
+        native("simulate", |args| {
+            if args.len() != 2 {
+                return Err(VineError::Lang("simulate(molecule, steps)".into()));
+            }
+            Ok(Value::Float(pm7_energy(
+                args[0].as_int()?,
+                args[1].as_int()?,
+            )))
+        }),
+        // train(xs, ys) -> model (least-squares slope/intercept on
+        // (molecule id, energy) pairs — a stand-in for sklearn fitting)
+        native("train", |args| {
+            if args.len() != 2 {
+                return Err(VineError::Lang("train(xs, ys)".into()));
+            }
+            let (xs, ys) = match (&args[0], &args[1]) {
+                (Value::List(a), Value::List(b)) => (a.borrow().clone(), b.borrow().clone()),
+                _ => return Err(VineError::Lang("train expects two lists".into())),
+            };
+            if xs.len() != ys.len() || xs.is_empty() {
+                return Err(VineError::Lang("train: mismatched or empty data".into()));
+            }
+            let n = xs.len() as f64;
+            let mut sx = 0.0;
+            let mut sy = 0.0;
+            let mut sxx = 0.0;
+            let mut sxy = 0.0;
+            for (x, y) in xs.iter().zip(&ys) {
+                let (x, y) = (x.as_float()?, y.as_float()?);
+                sx += x;
+                sy += y;
+                sxx += x * x;
+                sxy += x * y;
+            }
+            let denom = (n * sxx - sx * sx).abs().max(1e-12);
+            let slope = (n * sxy - sx * sy) / denom;
+            let intercept = (sy - slope * sx) / n;
+            Ok(Value::dict([
+                ("slope".to_string(), Value::Float(slope)),
+                ("intercept".to_string(), Value::Float(intercept)),
+            ]))
+        }),
+        // predict(model, molecule) -> estimated energy
+        native("predict", |args| {
+            if args.len() != 2 {
+                return Err(VineError::Lang("predict(model, molecule)".into()));
+            }
+            let model = match &args[0] {
+                Value::Dict(d) => d.borrow().clone(),
+                _ => return Err(VineError::Lang("predict: model must be dict".into())),
+            };
+            let slope = model
+                .get("slope")
+                .ok_or_else(|| VineError::Lang("model missing slope".into()))?
+                .as_float()?;
+            let intercept = model
+                .get("intercept")
+                .ok_or_else(|| VineError::Lang("model missing intercept".into()))?
+                .as_float()?;
+            let x = args[1].as_float()?;
+            Ok(Value::Float(slope * x + intercept))
+        }),
+    ]
+}
+
+/// Registry with both application stacks plus a `mathx` utility module —
+/// what a worker's activated environment exposes to vine-lang.
+pub fn full_registry() -> ModuleRegistry {
+    let mut reg = ModuleRegistry::new();
+    reg.register_native("nn", nn_module);
+    reg.register_native("chem", chem_module);
+    reg.register_native("mathx", || {
+        vec![
+            native("hypot", |args| {
+                if args.len() != 2 {
+                    return Err(VineError::Lang("hypot(a, b)".into()));
+                }
+                Ok(Value::Float(args[0].as_float()?.hypot(args[1].as_float()?)))
+            }),
+            native("clamp", |args| {
+                if args.len() != 3 {
+                    return Err(VineError::Lang("clamp(x, lo, hi)".into()));
+                }
+                let (x, lo, hi) = (
+                    args[0].as_float()?,
+                    args[1].as_float()?,
+                    args[2].as_float()?,
+                );
+                Ok(Value::Float(x.clamp(lo, hi)))
+            }),
+        ]
+    });
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_lang::Interp;
+
+    fn interp() -> Interp {
+        Interp::with_registry(full_registry())
+    }
+
+    #[test]
+    fn load_model_and_forward_are_deterministic() {
+        let mut i1 = interp();
+        i1.exec_source(
+            "import nn\nm = nn.load_model(3, 16)\nc1 = nn.forward(m, 7)\nc2 = nn.forward(m, 7)\nc3 = nn.forward(m, 8)",
+        )
+        .unwrap();
+        let c1 = i1.get_global("c1").unwrap();
+        let c2 = i1.get_global("c2").unwrap();
+        assert_eq!(c1, c2, "same input → same class");
+        // a fresh interpreter reproduces the same result (determinism
+        // across "workers")
+        let mut i2 = interp();
+        i2.exec_source("import nn\nm = nn.load_model(3, 16)\nc1 = nn.forward(m, 7)")
+            .unwrap();
+        assert_eq!(i2.get_global("c1").unwrap(), c1);
+    }
+
+    #[test]
+    fn forward_classes_in_range() {
+        let mut i = interp();
+        i.exec_source(
+            r#"
+            import nn
+            m = nn.load_model(2, 10)
+            classes = []
+            for img in range(20) { push(classes, nn.forward(m, img)) }
+            "#,
+        )
+        .unwrap();
+        if let vine_lang::Value::List(items) = i.get_global("classes").unwrap() {
+            let items = items.borrow();
+            assert_eq!(items.len(), 20);
+            for c in items.iter() {
+                let c = c.as_int().unwrap();
+                assert!((0..10).contains(&c), "class {c}");
+            }
+            // not all the same class (the model actually discriminates)
+            let first = items[0].as_int().unwrap();
+            assert!(items.iter().any(|c| c.as_int().unwrap() != first));
+        } else {
+            panic!("expected list");
+        }
+    }
+
+    #[test]
+    fn bad_model_arguments_error() {
+        let mut i = interp();
+        let e = i
+            .exec_source("import nn\nnn.forward(5, 1)")
+            .unwrap_err();
+        assert!(e.to_string().contains("must be dict"));
+        let e = i
+            .exec_source("import nn\nnn.load_model(2)")
+            .unwrap_err();
+        assert!(e.to_string().contains("load_model"));
+    }
+
+    #[test]
+    fn simulate_is_deterministic_and_varies_by_molecule() {
+        let mut i = interp();
+        i.exec_source(
+            "import chem\na = chem.simulate(10, 1000)\nb = chem.simulate(10, 1000)\nc = chem.simulate(11, 1000)",
+        )
+        .unwrap();
+        let a = i.get_global("a").unwrap();
+        assert_eq!(a, i.get_global("b").unwrap());
+        assert_ne!(a, i.get_global("c").unwrap());
+    }
+
+    #[test]
+    fn train_predict_recovers_linear_data() {
+        let mut i = interp();
+        i.exec_source(
+            r#"
+            import chem
+            xs = [1.0, 2.0, 3.0, 4.0]
+            ys = [3.0, 5.0, 7.0, 9.0]
+            m = chem.train(xs, ys)
+            p = chem.predict(m, 10.0)
+            "#,
+        )
+        .unwrap();
+        let p = i.get_global("p").unwrap().as_float().unwrap();
+        assert!((p - 21.0).abs() < 1e-9, "p {p}");
+    }
+
+    #[test]
+    fn train_rejects_bad_input() {
+        let mut i = interp();
+        assert!(i
+            .exec_source("import chem\nchem.train([1], [1, 2])")
+            .is_err());
+        assert!(i.exec_source("import chem\nchem.train([], [])").is_err());
+    }
+
+    #[test]
+    fn mathx_helpers() {
+        let mut i = interp();
+        i.exec_source("import mathx\nh = mathx.hypot(3.0, 4.0)\nc = mathx.clamp(7.0, 0.0, 5.0)")
+            .unwrap();
+        assert_eq!(i.get_global("h").unwrap(), vine_lang::Value::Float(5.0));
+        assert_eq!(i.get_global("c").unwrap(), vine_lang::Value::Float(5.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by any vine-rs component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VineError {
+    /// A (library, function) pair was addressed but no such library is
+    /// registered with the manager.
+    UnknownLibrary(String),
+    /// A function was invoked that its library does not host.
+    UnknownFunction { library: String, function: String },
+    /// A worker or component was asked to over-subscribe its resources.
+    ResourceExhausted(String),
+    /// Serialization or deserialization of code, values or messages failed.
+    Serialization(String),
+    /// The embedded language failed to lex/parse/execute.
+    Lang(String),
+    /// Software dependency resolution failed (missing package, version
+    /// conflict, dependency cycle).
+    Dependency(String),
+    /// A referenced file is unknown to the data plane or its content hash
+    /// did not match on arrival.
+    Data(String),
+    /// A worker disconnected or crashed.
+    WorkerLost(crate::ids::WorkerId),
+    /// Protocol violation between manager, worker and library.
+    Protocol(String),
+    /// An invocation or task failed during execution.
+    ExecutionFailed(String),
+    /// The operation timed out.
+    Timeout(String),
+    /// Internal invariant violated (a bug in vine-rs itself).
+    Internal(String),
+}
+
+impl fmt::Display for VineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VineError::UnknownLibrary(name) => write!(f, "unknown library: {name}"),
+            VineError::UnknownFunction { library, function } => {
+                write!(f, "library {library} does not host function {function}")
+            }
+            VineError::ResourceExhausted(what) => write!(f, "resource exhausted: {what}"),
+            VineError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            VineError::Lang(msg) => write!(f, "language error: {msg}"),
+            VineError::Dependency(msg) => write!(f, "dependency error: {msg}"),
+            VineError::Data(msg) => write!(f, "data error: {msg}"),
+            VineError::WorkerLost(w) => write!(f, "worker lost: {w}"),
+            VineError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            VineError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
+            VineError::Timeout(msg) => write!(f, "timeout: {msg}"),
+            VineError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VineError {}
+
+pub type Result<T> = std::result::Result<T, VineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::WorkerId;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            VineError::UnknownLibrary("lib".into()).to_string(),
+            "unknown library: lib"
+        );
+        assert_eq!(
+            VineError::UnknownFunction {
+                library: "lib".into(),
+                function: "f".into()
+            }
+            .to_string(),
+            "library lib does not host function f"
+        );
+        assert_eq!(
+            VineError::WorkerLost(WorkerId(3)).to_string(),
+            "worker lost: w3"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<VineError>();
+    }
+}

@@ -1,0 +1,335 @@
+//! # vine-dag
+//!
+//! The *parallel library* layer of the paper's software stack (Fig 1):
+//! applications "express computational needs as a DAG of tasks" by invoking
+//! functions whose results flow into later invocations; the library
+//! "automatically creates and maintains a DAG of function invocations,
+//! transforms invocations into tasks, and sends ready tasks to the
+//! execution engine". This is the Parsl role; [`vine_runtime::Runtime`] is
+//! the TaskVine role; [`App`] is the `TaskVineExecutor` glue (§3.6): it
+//! receives an arbitrary stream of invocations, submits those whose inputs
+//! are resolved, and feeds results forward as they return.
+//!
+//! ```
+//! use vine_dag::{App, Arg};
+//! use vine_core::context::{ContextSpec, LibrarySpec};
+//! use vine_lang::Value;
+//! use vine_runtime::{Runtime, RuntimeConfig};
+//!
+//! let mut rt = Runtime::new(RuntimeConfig::default());
+//! let mut spec = LibrarySpec::new("mathlib");
+//! spec.functions = vec!["double".into(), "add".into()];
+//! spec.resources = Some(vine_core::resources::Resources::new(1, 512, 512));
+//! spec.slots = Some(2);
+//! rt.install_library(
+//!     spec,
+//!     "def double(x) { return x * 2 }\ndef add(a, b) { return a + b }",
+//!     vec![],
+//!     &[],
+//! ).unwrap();
+//!
+//! // y = add(double(3), double(4)) — a little DAG
+//! let mut app = App::new(rt);
+//! let a = app.invoke("mathlib", "double", vec![Arg::Val(Value::Int(3))]);
+//! let b = app.invoke("mathlib", "double", vec![Arg::Val(Value::Int(4))]);
+//! let y = app.invoke("mathlib", "add", vec![Arg::ResultOf(a), Arg::ResultOf(b)]);
+//! let results = app.run().unwrap();
+//! assert_eq!(results[&y], Value::Int(14));
+//! ```
+
+use std::collections::BTreeMap;
+use vine_core::ids::InvocationId;
+use vine_core::resources::Resources;
+use vine_core::task::{FunctionCall, UnitId, WorkUnit};
+use vine_core::{Result, VineError};
+use vine_lang::pickle;
+use vine_lang::Value;
+use vine_runtime::{decode_result, Runtime};
+
+/// Handle to a node in the application's DAG — the paper's "promise that
+/// the application will know and receive the result" (§2.1.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+/// An argument to an invocation: a literal value, or the future result of
+/// an earlier invocation (which creates a DAG edge).
+#[derive(Clone, Debug)]
+pub enum Arg {
+    Val(Value),
+    ResultOf(NodeId),
+}
+
+struct Node {
+    library: String,
+    function: String,
+    args: Vec<Arg>,
+    resources: Resources,
+    /// Unresolved dependencies.
+    unmet: usize,
+    dependents: Vec<NodeId>,
+    result: Option<Value>,
+    submitted: bool,
+}
+
+/// An application: a DAG of invocations over a live runtime.
+pub struct App {
+    runtime: Runtime,
+    nodes: BTreeMap<NodeId, Node>,
+    next: u64,
+}
+
+impl App {
+    pub fn new(runtime: Runtime) -> App {
+        App {
+            runtime,
+            nodes: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    /// Invoke `library.function(args)` with default resources.
+    pub fn invoke(&mut self, library: &str, function: &str, args: Vec<Arg>) -> NodeId {
+        self.invoke_with(library, function, args, Resources::new(1, 512, 512))
+    }
+
+    /// Invoke with an explicit resource request.
+    pub fn invoke_with(
+        &mut self,
+        library: &str,
+        function: &str,
+        args: Vec<Arg>,
+        resources: Resources,
+    ) -> NodeId {
+        let id = NodeId(self.next);
+        self.next += 1;
+        let mut unmet = 0;
+        for a in &args {
+            if let Arg::ResultOf(dep) = a {
+                let dep_node = self
+                    .nodes
+                    .get_mut(dep)
+                    .unwrap_or_else(|| panic!("invoke references unknown node {dep:?}"));
+                if dep_node.result.is_none() {
+                    unmet += 1;
+                    dep_node.dependents.push(id);
+                }
+            }
+        }
+        self.nodes.insert(
+            id,
+            Node {
+                library: library.to_string(),
+                function: function.to_string(),
+                args,
+                resources,
+                unmet,
+                dependents: Vec::new(),
+                result: None,
+                submitted: false,
+            },
+        );
+        id
+    }
+
+    fn submit_ready(&mut self) -> Result<()> {
+        let ready: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.unmet == 0 && !n.submitted && n.result.is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ready {
+            // resolve argument futures to concrete values
+            let node = &self.nodes[&id];
+            let mut values = Vec::with_capacity(node.args.len());
+            for a in &node.args {
+                match a {
+                    Arg::Val(v) => values.push(v.clone()),
+                    Arg::ResultOf(dep) => {
+                        let v = self.nodes[dep]
+                            .result
+                            .clone()
+                            .ok_or_else(|| {
+                                VineError::Internal(format!(
+                                    "node {id:?} ready but dep {dep:?} unresolved"
+                                ))
+                            })?;
+                        values.push(v);
+                    }
+                }
+            }
+            let node = self.nodes.get_mut(&id).unwrap();
+            node.submitted = true;
+            let mut call = FunctionCall::new(
+                InvocationId(id.0),
+                node.library.clone(),
+                node.function.clone(),
+                pickle::serialize_args(&values)?,
+            );
+            call.resources = node.resources;
+            self.runtime.submit(WorkUnit::Call(call));
+        }
+        Ok(())
+    }
+
+    /// Run the DAG to completion; returns every node's result value.
+    /// Fails fast on the first failed invocation (dependents of a failed
+    /// node can never run).
+    pub fn run(&mut self) -> Result<BTreeMap<NodeId, Value>> {
+        self.submit_ready()?;
+        while let Some(outcome) = self.runtime.run_next()? {
+            let UnitId::Call(inv) = outcome.unit else {
+                return Err(VineError::Internal("DAG nodes are calls".into()));
+            };
+            let id = NodeId(inv.0);
+            if !outcome.success {
+                return Err(VineError::ExecutionFailed(format!(
+                    "node {id:?} ({}) failed: {}",
+                    self.nodes
+                        .get(&id)
+                        .map(|n| format!("{}.{}", n.library, n.function))
+                        .unwrap_or_default(),
+                    outcome.error.unwrap_or_default()
+                )));
+            }
+            let value = decode_result(&outcome)?;
+            let dependents = {
+                let node = self
+                    .nodes
+                    .get_mut(&id)
+                    .ok_or_else(|| VineError::Internal(format!("unknown node {id:?}")))?;
+                node.result = Some(value);
+                std::mem::take(&mut node.dependents)
+            };
+            for dep in dependents {
+                let n = self.nodes.get_mut(&dep).unwrap();
+                n.unmet -= 1;
+            }
+            self.submit_ready()?;
+        }
+        // collect results
+        let mut out = BTreeMap::new();
+        for (id, node) in &self.nodes {
+            match &node.result {
+                Some(v) => {
+                    out.insert(*id, v.clone());
+                }
+                None => {
+                    return Err(VineError::Internal(format!(
+                        "node {id:?} never ran (cycle or lost dependency)"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Result of a node after [`App::run`].
+    pub fn result(&self, id: NodeId) -> Option<&Value> {
+        self.nodes.get(&id).and_then(|n| n.result.as_ref())
+    }
+
+    /// Tear down the underlying cluster.
+    pub fn shutdown(self) {
+        self.runtime.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_core::context::LibrarySpec;
+    use vine_runtime::RuntimeConfig;
+
+    const SRC: &str = r#"
+        def double(x) { return x * 2 }
+        def add(a, b) { return a + b }
+        def fail_if_negative(x) {
+            if x < 0 { return 1 / 0 }
+            return x
+        }
+    "#;
+
+    fn app(workers: usize) -> App {
+        let mut rt = Runtime::new(RuntimeConfig {
+            workers,
+            ..Default::default()
+        });
+        let mut spec = LibrarySpec::new("m");
+        spec.functions = vec!["double".into(), "add".into(), "fail_if_negative".into()];
+        spec.resources = Some(Resources::new(2, 1024, 1024));
+        spec.slots = Some(2);
+        rt.install_library(spec, SRC, vec![], &[]).unwrap();
+        App::new(rt)
+    }
+
+    #[test]
+    fn figure1_composition() {
+        // the paper's Fig 1 application: y = f(g(x)) over the stack
+        let mut app = app(2);
+        let g = app.invoke("m", "double", vec![Arg::Val(Value::Int(21))]);
+        let f = app.invoke("m", "add", vec![Arg::ResultOf(g), Arg::Val(Value::Int(0))]);
+        let results = app.run().unwrap();
+        assert_eq!(results[&f], Value::Int(42));
+        app.shutdown();
+    }
+
+    #[test]
+    fn diamond_dag() {
+        let mut app = app(2);
+        let root = app.invoke("m", "double", vec![Arg::Val(Value::Int(1))]);
+        let left = app.invoke("m", "double", vec![Arg::ResultOf(root)]);
+        let right = app.invoke("m", "add", vec![Arg::ResultOf(root), Arg::Val(Value::Int(10))]);
+        let join = app.invoke(
+            "m",
+            "add",
+            vec![Arg::ResultOf(left), Arg::ResultOf(right)],
+        );
+        let results = app.run().unwrap();
+        assert_eq!(results[&root], Value::Int(2));
+        assert_eq!(results[&left], Value::Int(4));
+        assert_eq!(results[&right], Value::Int(12));
+        assert_eq!(results[&join], Value::Int(16));
+        app.shutdown();
+    }
+
+    #[test]
+    fn wide_fanout_executes_fully() {
+        let mut app = app(3);
+        let root = app.invoke("m", "double", vec![Arg::Val(Value::Int(1))]);
+        let mut leaves = Vec::new();
+        for i in 0..40 {
+            leaves.push(app.invoke(
+                "m",
+                "add",
+                vec![Arg::ResultOf(root), Arg::Val(Value::Int(i))],
+            ));
+        }
+        let results = app.run().unwrap();
+        for (i, leaf) in leaves.iter().enumerate() {
+            assert_eq!(results[leaf], Value::Int(2 + i as i64));
+        }
+        app.shutdown();
+    }
+
+    #[test]
+    fn failure_propagates_as_error() {
+        let mut app = app(1);
+        let bad = app.invoke("m", "fail_if_negative", vec![Arg::Val(Value::Int(-1))]);
+        let _child = app.invoke("m", "double", vec![Arg::ResultOf(bad)]);
+        let e = app.run().unwrap_err();
+        assert!(e.to_string().contains("division by zero"), "{e}");
+    }
+
+    #[test]
+    fn deep_chain_sequences_correctly() {
+        let mut app = app(2);
+        let mut prev = app.invoke("m", "double", vec![Arg::Val(Value::Int(1))]);
+        for _ in 0..9 {
+            prev = app.invoke("m", "double", vec![Arg::ResultOf(prev)]);
+        }
+        let results = app.run().unwrap();
+        assert_eq!(results[&prev], Value::Int(1024));
+        app.shutdown();
+    }
+}

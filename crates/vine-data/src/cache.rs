@@ -1,0 +1,293 @@
+//! Worker-local cache: the on-disk half of the retain mechanism.
+//!
+//! Files land here once (fetched from the manager, a peer, or unpacked from
+//! an archive) and are shared by every invocation on the worker — the
+//! data-to-worker binding of §2.2.1. Capacity is strictly accounted;
+//! eviction is LRU over unpinned entries; files in use by a running task,
+//! library or transfer are pinned and never evicted.
+
+use std::collections::BTreeMap;
+use vine_core::ids::ContentHash;
+use vine_core::{Result, VineError};
+
+#[derive(Debug, Clone)]
+struct Entry {
+    size: u64,
+    pins: u32,
+    last_used: u64,
+}
+
+/// A bounded content-addressed cache.
+#[derive(Debug)]
+pub struct WorkerCache {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    entries: BTreeMap<ContentHash, Entry>,
+    /// Total bytes evicted over the cache's lifetime (telemetry).
+    pub evicted_bytes: u64,
+    /// Cache hits / misses (telemetry).
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl WorkerCache {
+    pub fn new(capacity_bytes: u64) -> WorkerCache {
+        WorkerCache {
+            capacity: capacity_bytes,
+            used: 0,
+            clock: 0,
+            entries: BTreeMap::new(),
+            evicted_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Check presence (and count the lookup as a hit or miss). Touches the
+    /// entry's recency on hit.
+    pub fn lookup(&mut self, hash: ContentHash) -> bool {
+        self.clock += 1;
+        match self.entries.get_mut(&hash) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Presence check without telemetry or recency side effects.
+    pub fn contains(&self, hash: ContentHash) -> bool {
+        self.entries.contains_key(&hash)
+    }
+
+    /// Insert a file, evicting LRU unpinned entries as needed. Fails if the
+    /// file can never fit (larger than capacity minus pinned bytes).
+    /// Inserting an already-present hash refreshes recency and is a no-op
+    /// for space (content-addressed: same hash ⇒ same bytes).
+    pub fn insert(&mut self, hash: ContentHash, size: u64) -> Result<()> {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&hash) {
+            e.last_used = self.clock;
+            return Ok(());
+        }
+        if size > self.capacity {
+            return Err(VineError::ResourceExhausted(format!(
+                "file of {size} bytes exceeds cache capacity {}",
+                self.capacity
+            )));
+        }
+        while self.used + size > self.capacity {
+            self.evict_lru()?;
+        }
+        self.used += size;
+        self.entries.insert(
+            hash,
+            Entry {
+                size,
+                pins: 0,
+                last_used: self.clock,
+            },
+        );
+        Ok(())
+    }
+
+    /// Pin a file so eviction skips it (file is in use by a running
+    /// invocation, library, or outbound peer transfer).
+    pub fn pin(&mut self, hash: ContentHash) -> Result<()> {
+        let e = self
+            .entries
+            .get_mut(&hash)
+            .ok_or_else(|| VineError::Data(format!("pin of uncached file {hash}")))?;
+        e.pins += 1;
+        Ok(())
+    }
+
+    pub fn unpin(&mut self, hash: ContentHash) -> Result<()> {
+        let e = self
+            .entries
+            .get_mut(&hash)
+            .ok_or_else(|| VineError::Data(format!("unpin of uncached file {hash}")))?;
+        if e.pins == 0 {
+            return Err(VineError::Internal(format!("unbalanced unpin of {hash}")));
+        }
+        e.pins -= 1;
+        Ok(())
+    }
+
+    /// Remove a specific file (e.g. an uncacheable input at task end).
+    /// Pinned files cannot be removed.
+    pub fn remove(&mut self, hash: ContentHash) -> Result<()> {
+        match self.entries.get(&hash) {
+            Some(e) if e.pins > 0 => Err(VineError::Data(format!(
+                "cannot remove pinned file {hash}"
+            ))),
+            Some(_) => {
+                let e = self.entries.remove(&hash).unwrap();
+                self.used -= e.size;
+                Ok(())
+            }
+            None => Err(VineError::Data(format!("remove of uncached file {hash}"))),
+        }
+    }
+
+    fn evict_lru(&mut self) -> Result<()> {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pins == 0)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(h, _)| *h)
+            .ok_or_else(|| {
+                VineError::ResourceExhausted(
+                    "cache full and every entry is pinned".into(),
+                )
+            })?;
+        let e = self.entries.remove(&victim).unwrap();
+        self.used -= e.size;
+        self.evicted_bytes += e.size;
+        Ok(())
+    }
+
+    /// Iterate cached hashes (for peer-transfer source selection).
+    pub fn hashes(&self) -> impl Iterator<Item = ContentHash> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(s: &str) -> ContentHash {
+        ContentHash::of_str(s)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = WorkerCache::new(100);
+        assert!(!c.lookup(h("a")));
+        c.insert(h("a"), 40).unwrap();
+        assert!(c.lookup(h("a")));
+        assert_eq!(c.used(), 40);
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_space_noop() {
+        let mut c = WorkerCache::new(100);
+        c.insert(h("a"), 40).unwrap();
+        c.insert(h("a"), 40).unwrap();
+        assert_eq!(c.used(), 40);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = WorkerCache::new(100);
+        c.insert(h("a"), 40).unwrap();
+        c.insert(h("b"), 40).unwrap();
+        // touch a so b becomes LRU
+        assert!(c.lookup(h("a")));
+        c.insert(h("c"), 40).unwrap(); // must evict b
+        assert!(c.contains(h("a")));
+        assert!(!c.contains(h("b")));
+        assert!(c.contains(h("c")));
+        assert_eq!(c.evicted_bytes, 40);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction() {
+        let mut c = WorkerCache::new(100);
+        c.insert(h("a"), 60).unwrap();
+        c.pin(h("a")).unwrap();
+        c.insert(h("b"), 30).unwrap();
+        // inserting 40 must evict b (a is pinned even though older)
+        c.insert(h("c"), 40).unwrap();
+        assert!(c.contains(h("a")));
+        assert!(!c.contains(h("b")));
+    }
+
+    #[test]
+    fn all_pinned_cache_full_errors() {
+        let mut c = WorkerCache::new(100);
+        c.insert(h("a"), 100).unwrap();
+        c.pin(h("a")).unwrap();
+        let e = c.insert(h("b"), 10).unwrap_err();
+        assert!(e.to_string().contains("pinned"), "{e}");
+    }
+
+    #[test]
+    fn oversized_file_rejected() {
+        let mut c = WorkerCache::new(100);
+        let e = c.insert(h("big"), 101).unwrap_err();
+        assert!(e.to_string().contains("exceeds cache capacity"));
+    }
+
+    #[test]
+    fn pin_unpin_balance() {
+        let mut c = WorkerCache::new(100);
+        c.insert(h("a"), 10).unwrap();
+        c.pin(h("a")).unwrap();
+        c.pin(h("a")).unwrap();
+        c.unpin(h("a")).unwrap();
+        // still pinned once: not evictable
+        c.insert(h("b"), 95).unwrap_err();
+        c.unpin(h("a")).unwrap();
+        c.insert(h("b"), 95).unwrap(); // now evictable
+        assert!(!c.contains(h("a")));
+        // unbalanced unpin is an internal error
+        c.pin(h("b")).unwrap();
+        c.unpin(h("b")).unwrap();
+        assert!(c.unpin(h("b")).is_err());
+    }
+
+    #[test]
+    fn remove_respects_pins() {
+        let mut c = WorkerCache::new(100);
+        c.insert(h("a"), 10).unwrap();
+        c.pin(h("a")).unwrap();
+        assert!(c.remove(h("a")).is_err());
+        c.unpin(h("a")).unwrap();
+        c.remove(h("a")).unwrap();
+        assert_eq!(c.used(), 0);
+        assert!(c.remove(h("a")).is_err());
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity_under_churn() {
+        let mut c = WorkerCache::new(1000);
+        for i in 0..200u32 {
+            let size = (i as u64 * 37) % 300 + 1;
+            c.insert(h(&format!("f{i}")), size).unwrap();
+            assert!(c.used() <= c.capacity(), "overflow at step {i}");
+        }
+        assert!(c.evicted_bytes > 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The manager's content-addressed file table.
+
+use std::collections::BTreeMap;
+use vine_core::context::{FileRef, FileSource};
+use vine_core::ids::{ContentHash, FileId};
+use vine_core::{Result, VineError};
+use vine_env::EnvironmentArchive;
+
+/// All files the manager knows about. TaskVine "maintain[s] a table of
+/// files in the manager, naming files based on the hash of their contents"
+/// (§2.2.2); this is that table.
+#[derive(Debug, Default)]
+pub struct ContentStore {
+    next_id: u64,
+    by_id: BTreeMap<FileId, FileRef>,
+    by_hash: BTreeMap<ContentHash, FileId>,
+}
+
+impl ContentStore {
+    pub fn new() -> ContentStore {
+        ContentStore::default()
+    }
+
+    /// Declare a file from actual bytes (small things: serialized code,
+    /// argument blobs). Content-identical declarations dedup to one file.
+    pub fn declare_bytes(&mut self, name: impl Into<String>, bytes: &[u8]) -> FileRef {
+        let hash = ContentHash::of_bytes(bytes);
+        self.declare_inner(name.into(), hash, bytes.len() as u64, 0)
+    }
+
+    /// Declare a file by externally known identity and size (large virtual
+    /// payloads: datasets, model parameter blobs).
+    pub fn declare_sized(
+        &mut self,
+        name: impl Into<String>,
+        hash: ContentHash,
+        size_bytes: u64,
+    ) -> FileRef {
+        self.declare_inner(name.into(), hash, size_bytes, 0)
+    }
+
+    /// Declare a packed environment archive: transfers at packed size,
+    /// occupies unpacked size once materialized.
+    pub fn declare_environment(&mut self, archive: &EnvironmentArchive) -> FileRef {
+        self.declare_inner(
+            format!("{}.tar.zst", archive.name),
+            archive.hash,
+            archive.packed_bytes,
+            archive.unpacked_bytes,
+        )
+    }
+
+    fn declare_inner(
+        &mut self,
+        name: String,
+        hash: ContentHash,
+        size: u64,
+        unpacked: u64,
+    ) -> FileRef {
+        if let Some(id) = self.by_hash.get(&hash) {
+            return self.by_id[id].clone();
+        }
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        let mut f = FileRef::new(id, name, hash, size);
+        f.unpacked_bytes = unpacked;
+        self.by_hash.insert(hash, id);
+        self.by_id.insert(id, f.clone());
+        f
+    }
+
+    pub fn get(&self, id: FileId) -> Result<&FileRef> {
+        self.by_id
+            .get(&id)
+            .ok_or_else(|| VineError::Data(format!("unknown file {id}")))
+    }
+
+    pub fn lookup_hash(&self, hash: ContentHash) -> Option<&FileRef> {
+        self.by_hash.get(&hash).map(|id| &self.by_id[id])
+    }
+
+    /// Mark an existing file as sourced from the shared filesystem (L1
+    /// mode: workers pull it from the shared FS instead of the manager).
+    pub fn set_source(&mut self, id: FileId, source: FileSource) -> Result<()> {
+        let f = self
+            .by_id
+            .get_mut(&id)
+            .ok_or_else(|| VineError::Data(format!("unknown file {id}")))?;
+        f.source = source;
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &FileRef> {
+        self.by_id.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_env::catalog;
+    use vine_env::resolve::resolve;
+
+    #[test]
+    fn declare_bytes_dedups_identical_content() {
+        let mut store = ContentStore::new();
+        let a = store.declare_bytes("args-1.bin", b"payload");
+        let b = store.declare_bytes("args-2.bin", b"payload");
+        assert_eq!(a.id, b.id, "identical content must be one file");
+        assert_eq!(a.name, "args-1.bin", "first declaration names the file");
+        assert_eq!(store.len(), 1);
+
+        let c = store.declare_bytes("other.bin", b"different");
+        assert_ne!(a.id, c.id);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn declare_environment_carries_unpacked_size() {
+        let reg = catalog::standard_registry();
+        let res = resolve(&reg, &catalog::lnni_requirements()).unwrap();
+        let archive = vine_env::pack("lnni-env", &res);
+        let mut store = ContentStore::new();
+        let f = store.declare_environment(&archive);
+        assert_eq!(f.size_bytes, catalog::LNNI_PACKED_BYTES);
+        assert_eq!(f.materialized_bytes(), catalog::LNNI_UNPACKED_BYTES);
+        // same archive → same file
+        let f2 = store.declare_environment(&archive);
+        assert_eq!(f.id, f2.id);
+    }
+
+    #[test]
+    fn lookup_paths() {
+        let mut store = ContentStore::new();
+        let f = store.declare_bytes("x", b"abc");
+        assert_eq!(store.get(f.id).unwrap().hash, f.hash);
+        assert_eq!(store.lookup_hash(f.hash).unwrap().id, f.id);
+        assert!(store.get(FileId(999)).is_err());
+        assert!(store
+            .lookup_hash(ContentHash::of_str("nope"))
+            .is_none());
+    }
+
+    #[test]
+    fn set_source_marks_shared_fs() {
+        use vine_core::context::FileSource;
+        let mut store = ContentStore::new();
+        let f = store.declare_bytes("x", b"abc");
+        store.set_source(f.id, FileSource::SharedFs).unwrap();
+        assert_eq!(store.get(f.id).unwrap().source, FileSource::SharedFs);
+        assert!(store.set_source(FileId(42), FileSource::SharedFs).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! A synthetic package universe calibrated to the paper's applications.
+//!
+//! The paper reports that LNNI's software dependencies "contain 144 Python
+//! packages and amount to 3.1 GBs of disk size in the reusable format and
+//! 572 MBs when tarballed" (Table 5 discussion). [`standard_registry`]
+//! contains a deterministic package DAG whose LNNI closure reproduces those
+//! numbers *exactly*; sizes of individual packages follow a skewed
+//! distribution (a few giant native packages, a long tail of small pure
+//! ones), like a real Conda environment.
+//!
+//! ExaMol's environment (Scikit-Learn, RDKit, OpenMOPAC, Colmena — §4.1.2)
+//! has no published size; we assume a comparable scientific stack: 121
+//! packages, 460 MB packed, 2.6 GB unpacked. Recorded as a substitution in
+//! DESIGN.md.
+
+use crate::registry::{PackageRegistry, PackageSpec, Requirement, Version};
+
+/// LNNI package-count target (paper Table 5 discussion).
+pub const LNNI_PACKAGE_COUNT: usize = 144;
+/// LNNI packed environment size: 572 MB.
+pub const LNNI_PACKED_BYTES: u64 = 572_000_000;
+/// LNNI unpacked environment size: 3.1 GB.
+pub const LNNI_UNPACKED_BYTES: u64 = 3_100_000_000;
+/// Files in the unpacked LNNI environment (drives L1 import-storm IOPS).
+pub const LNNI_FILE_COUNT: u64 = 62_000;
+
+/// Assumed ExaMol environment (not published; see module docs).
+pub const EXAMOL_PACKAGE_COUNT: usize = 121;
+pub const EXAMOL_PACKED_BYTES: u64 = 460_000_000;
+pub const EXAMOL_UNPACKED_BYTES: u64 = 2_600_000_000;
+pub const EXAMOL_FILE_COUNT: u64 = 48_000;
+
+fn v1() -> Version {
+    Version(1, 0, 0)
+}
+
+/// Deterministic size weight for the i-th dependency package: a skewed
+/// distribution where low indices are heavyweight native packages.
+fn weight(i: usize) -> u64 {
+    match i {
+        0 => 400,
+        1 => 250,
+        2 => 180,
+        3 => 120,
+        4..=9 => 60,
+        10..=29 => 20,
+        _ => 4,
+    }
+}
+
+/// Build a dependency stack: `root` depends on the first `fanout` deps;
+/// dep `i` depends on deps `2i+1` and `2i+2` (a binary tree, guaranteeing
+/// acyclicity). Package sizes are fixed up so closure totals hit the
+/// targets exactly.
+fn add_stack(
+    reg: &mut PackageRegistry,
+    root: &str,
+    dep_prefix: &str,
+    total_packages: usize,
+    packed_total: u64,
+    unpacked_total: u64,
+    file_total: u64,
+    extra_root_deps: Vec<Requirement>,
+) {
+    assert!(total_packages >= 2);
+    let dep_count = total_packages - 1;
+    let weights: Vec<u64> = (0..dep_count).map(weight).collect();
+    let wsum: u64 = weights.iter().sum();
+
+    // reserve a root share, distribute the rest by weight, then give all
+    // rounding residue to the root so totals are exact
+    let root_packed = packed_total / 20;
+    let root_unpacked = unpacked_total / 20;
+    let root_files = file_total / 20;
+
+    let mut packed_used = 0u64;
+    let mut unpacked_used = 0u64;
+    let mut files_used = 0u64;
+
+    for i in 0..dep_count {
+        let packed = (packed_total - root_packed) * weights[i] / wsum;
+        let unpacked = (unpacked_total - root_unpacked) * weights[i] / wsum;
+        let files = ((file_total - root_files) * weights[i] / wsum).max(1);
+        packed_used += packed;
+        unpacked_used += unpacked;
+        files_used += files;
+
+        let mut deps = Vec::new();
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < dep_count {
+                deps.push(Requirement::any(format!("{dep_prefix}-{child:03}")));
+            }
+        }
+        reg.add(
+            PackageSpec::new(format!("{dep_prefix}-{i:03}"), v1())
+                .with_sizes(packed, unpacked, files as u32)
+                .with_deps(deps)
+                .no_module(),
+        );
+    }
+
+    let mut root_deps: Vec<Requirement> = vec![Requirement::any(format!("{dep_prefix}-000"))];
+    root_deps.extend(extra_root_deps);
+    reg.add(
+        PackageSpec::new(root, v1())
+            .with_sizes(
+                packed_total - packed_used,
+                unpacked_total - unpacked_used,
+                (file_total - files_used) as u32,
+            )
+            .with_deps(root_deps),
+    );
+}
+
+/// The full synthetic universe: the LNNI stack (rooted at `nn`), the ExaMol
+/// stack (rooted at `chemml`, with `rdkitx`/`sklearnx`/`mopacx` module
+/// providers inside), and a few standalone utility packages.
+pub fn standard_registry() -> PackageRegistry {
+    let mut reg = PackageRegistry::new();
+
+    // LNNI: `nn` + 143 deps
+    add_stack(
+        &mut reg,
+        "nn",
+        "nndep",
+        LNNI_PACKAGE_COUNT,
+        LNNI_PACKED_BYTES,
+        LNNI_UNPACKED_BYTES,
+        LNNI_FILE_COUNT,
+        vec![],
+    );
+
+    // ExaMol: `chemml` meta-package + module-providing roots + 117 deps.
+    // 121 total = chemml + rdkitx + sklearnx + mopacx + 117 chemdep deps.
+    add_stack(
+        &mut reg,
+        "chemml",
+        "chemdep",
+        EXAMOL_PACKAGE_COUNT - 3,
+        EXAMOL_PACKED_BYTES - 3_000_000,
+        EXAMOL_UNPACKED_BYTES - 30_000_000,
+        EXAMOL_FILE_COUNT - 600,
+        vec![
+            Requirement::any("rdkitx"),
+            Requirement::any("sklearnx"),
+            Requirement::any("mopacx"),
+        ],
+    );
+    for module_pkg in ["rdkitx", "sklearnx", "mopacx"] {
+        reg.add(PackageSpec::new(module_pkg, v1()).with_sizes(1_000_000, 10_000_000, 200));
+    }
+
+    // standalone utilities usable by examples and tests
+    reg.add(PackageSpec::new("mathx", v1()).with_sizes(100_000, 400_000, 20));
+    reg.add(PackageSpec::new("jsonx", v1()).with_sizes(80_000, 300_000, 15));
+    reg.add(
+        PackageSpec::new("dataframex", Version(2, 1, 0))
+            .with_sizes(40_000_000, 160_000_000, 3_000)
+            .with_deps(vec![Requirement::any("mathx")]),
+    );
+    reg.add(
+        PackageSpec::new("dataframex", Version(1, 4, 2))
+            .with_sizes(30_000_000, 120_000_000, 2_500)
+            .with_deps(vec![Requirement::any("mathx")]),
+    );
+
+    reg
+}
+
+/// Requirements the LNNI inference function's import scan produces.
+pub fn lnni_requirements() -> Vec<Requirement> {
+    vec![Requirement::any("nn")]
+}
+
+/// Requirements the ExaMol task functions' import scans produce.
+pub fn examol_requirements() -> Vec<Requirement> {
+    vec![Requirement::any("chemml")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::pack;
+    use crate::resolve::resolve;
+
+    #[test]
+    fn lnni_environment_matches_paper_exactly() {
+        let reg = standard_registry();
+        let res = resolve(&reg, &lnni_requirements()).unwrap();
+        assert_eq!(res.packages.len(), LNNI_PACKAGE_COUNT, "paper: 144 packages");
+        assert_eq!(res.packed_bytes(), LNNI_PACKED_BYTES, "paper: 572 MB packed");
+        assert_eq!(
+            res.unpacked_bytes(),
+            LNNI_UNPACKED_BYTES,
+            "paper: 3.1 GB unpacked"
+        );
+        assert_eq!(res.file_count(), LNNI_FILE_COUNT);
+        let archive = pack("lnni-env", &res);
+        assert!(archive.provides("nn"));
+    }
+
+    #[test]
+    fn examol_environment_matches_assumption() {
+        let reg = standard_registry();
+        let res = resolve(&reg, &examol_requirements()).unwrap();
+        assert_eq!(res.packages.len(), EXAMOL_PACKAGE_COUNT);
+        assert_eq!(res.packed_bytes(), EXAMOL_PACKED_BYTES);
+        assert_eq!(res.unpacked_bytes(), EXAMOL_UNPACKED_BYTES);
+        let archive = pack("examol-env", &res);
+        for m in ["chemml", "rdkitx", "sklearnx", "mopacx"] {
+            assert!(archive.provides(m), "missing module {m}");
+        }
+    }
+
+    #[test]
+    fn stacks_are_disjoint() {
+        let reg = standard_registry();
+        let lnni = resolve(&reg, &lnni_requirements()).unwrap();
+        let examol = resolve(&reg, &examol_requirements()).unwrap();
+        for p in &lnni.packages {
+            assert!(
+                !examol.contains(&p.name),
+                "{} appears in both environments",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn registry_is_deterministic() {
+        let a = standard_registry();
+        let b = standard_registry();
+        let ra = resolve(&a, &lnni_requirements()).unwrap();
+        let rb = resolve(&b, &lnni_requirements()).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(
+            pack("e", &ra).hash,
+            pack("e", &rb).hash,
+            "same contents must produce same archive identity"
+        );
+    }
+
+    #[test]
+    fn size_distribution_is_skewed() {
+        let reg = standard_registry();
+        let res = resolve(&reg, &lnni_requirements()).unwrap();
+        let mut sizes: Vec<u64> = res.packages.iter().map(|p| p.unpacked_bytes).collect();
+        sizes.sort_unstable();
+        let top10: u64 = sizes.iter().rev().take(10).sum();
+        let total: u64 = sizes.iter().sum();
+        // a handful of native packages dominate, like a real ML environment
+        assert!(
+            top10 * 2 > total,
+            "top-10 packages should exceed half the environment ({top10}/{total})"
+        );
+        // while the median package is tiny
+        let median = sizes[sizes.len() / 2];
+        assert!(median * 100 < total, "median {median} vs total {total}");
+    }
+
+    #[test]
+    fn dataframex_has_two_versions() {
+        let reg = standard_registry();
+        let newest = reg.best_match("dataframex", &[]).unwrap();
+        assert_eq!(newest.version, Version(2, 1, 0));
+        let res = resolve(
+            &reg,
+            &[Requirement::exact("dataframex", Version(1, 4, 2))],
+        )
+        .unwrap();
+        assert!(res.contains("mathx"));
+        assert_eq!(
+            res.packages
+                .iter()
+                .find(|p| p.name == "dataframex")
+                .unwrap()
+                .version,
+            Version(1, 4, 2)
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! Dependency resolution: requirements → transitive closure in install
+//! order, with version selection, conflict detection, and cycle rejection.
+
+use crate::registry::{Constraint, PackageRegistry, PackageSpec, Requirement, Version};
+use std::collections::BTreeMap;
+use vine_core::{Result, VineError};
+
+/// A resolved environment: concrete package versions in install order
+/// (every package appears after all of its dependencies).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Resolution {
+    pub packages: Vec<PackageSpec>,
+}
+
+impl Resolution {
+    pub fn unpacked_bytes(&self) -> u64 {
+        self.packages.iter().map(|p| p.unpacked_bytes).sum()
+    }
+
+    pub fn packed_bytes(&self) -> u64 {
+        self.packages.iter().map(|p| p.packed_bytes).sum()
+    }
+
+    pub fn file_count(&self) -> u64 {
+        self.packages.iter().map(|p| p.file_count as u64).sum()
+    }
+
+    /// Names of the vine-lang modules this environment provides.
+    pub fn provided_modules(&self) -> Vec<&str> {
+        self.packages
+            .iter()
+            .filter_map(|p| p.provides_module.as_deref())
+            .collect()
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.packages.iter().any(|p| p.name == name)
+    }
+}
+
+/// Resolve `requirements` against `registry`.
+///
+/// Strategy: iterate to a fixpoint. Each round accumulates all constraints
+/// reachable from the roots (taking each package's dependency list from its
+/// currently-best-matching version), then re-selects versions. Because a
+/// newly discovered constraint can demote a previously chosen version —
+/// whose dependency list may differ — rounds repeat until stable, with a
+/// cap to guarantee termination. Finally the chosen set is ordered
+/// topologically; dependency cycles are rejected (install order would be
+/// undefined).
+pub fn resolve(registry: &PackageRegistry, requirements: &[Requirement]) -> Result<Resolution> {
+    const MAX_ROUNDS: usize = 64;
+
+    let mut chosen: BTreeMap<String, Version> = BTreeMap::new();
+    for _round in 0..MAX_ROUNDS {
+        // gather constraints by walking from the roots through the deps of
+        // currently chosen (or freshly best-matched) versions
+        let mut constraints: BTreeMap<String, Vec<Constraint>> = BTreeMap::new();
+        let mut queue: Vec<Requirement> = requirements.to_vec();
+        let mut seen_edges = 0usize;
+        while let Some(req) = queue.pop() {
+            seen_edges += 1;
+            if seen_edges > 100_000 {
+                return Err(VineError::Dependency(
+                    "dependency graph too large (possible constraint oscillation)".into(),
+                ));
+            }
+            let entry = constraints.entry(req.name.clone()).or_default();
+            let first_visit = entry.is_empty();
+            if !entry.contains(&req.constraint) {
+                entry.push(req.constraint);
+            }
+            if first_visit {
+                let cs = constraints[&req.name].clone();
+                // expand the version selected in the previous round if it
+                // still satisfies what we know — this is what lets a later
+                // round correct a dependency set discovered under a version
+                // that other constraints then demoted
+                let spec = match chosen.get(&req.name) {
+                    Some(ver) if cs.iter().all(|c| c.satisfied_by(*ver)) => registry
+                        .get(&req.name, *ver)
+                        .ok_or_else(|| unsatisfiable(registry, &req.name, &cs))?,
+                    _ => registry
+                        .best_match(&req.name, &cs)
+                        .ok_or_else(|| unsatisfiable(registry, &req.name, &cs))?,
+                };
+                queue.extend(spec.deps.iter().cloned());
+            }
+        }
+
+        // select versions under the full constraint sets
+        let mut next: BTreeMap<String, Version> = BTreeMap::new();
+        for (name, cs) in &constraints {
+            let spec = registry
+                .best_match(name, cs)
+                .ok_or_else(|| unsatisfiable(registry, name, cs))?;
+            next.insert(name.clone(), spec.version);
+        }
+
+        if next == chosen {
+            return topo_order(registry, &chosen);
+        }
+        chosen = next;
+    }
+    Err(VineError::Dependency(
+        "resolution did not converge (constraint oscillation)".into(),
+    ))
+}
+
+fn unsatisfiable(registry: &PackageRegistry, name: &str, cs: &[Constraint]) -> VineError {
+    if !registry.contains(name) {
+        VineError::Dependency(format!("no such package: {name}"))
+    } else {
+        let cs: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
+        let have: Vec<String> = registry
+            .versions_of(name)
+            .map(|p| p.version.to_string())
+            .collect();
+        VineError::Dependency(format!(
+            "conflicting constraints on {name}: need {} but have versions [{}]",
+            cs.join(" and "),
+            have.join(", ")
+        ))
+    }
+}
+
+fn topo_order(
+    registry: &PackageRegistry,
+    chosen: &BTreeMap<String, Version>,
+) -> Result<Resolution> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    let mut marks: BTreeMap<&str, Mark> =
+        chosen.keys().map(|n| (n.as_str(), Mark::Unvisited)).collect();
+    let mut order: Vec<PackageSpec> = Vec::with_capacity(chosen.len());
+
+    fn visit<'a>(
+        name: &'a str,
+        registry: &PackageRegistry,
+        chosen: &'a BTreeMap<String, Version>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        order: &mut Vec<PackageSpec>,
+        stack: &mut Vec<String>,
+    ) -> Result<()> {
+        match marks.get(name).copied() {
+            Some(Mark::Done) => return Ok(()),
+            Some(Mark::InProgress) => {
+                stack.push(name.to_string());
+                return Err(VineError::Dependency(format!(
+                    "dependency cycle: {}",
+                    stack.join(" -> ")
+                )));
+            }
+            _ => {}
+        }
+        marks.insert(name, Mark::InProgress);
+        stack.push(name.to_string());
+        let version = chosen[name];
+        let spec = registry
+            .get(name, version)
+            .ok_or_else(|| VineError::Internal(format!("chosen package vanished: {name}")))?;
+        for dep in &spec.deps {
+            // deps are keyed by name; the chosen map fixes the version
+            if chosen.contains_key(&dep.name) {
+                let dep_name = chosen.keys().find(|k| **k == dep.name).unwrap();
+                visit(dep_name, registry, chosen, marks, order, stack)?;
+            }
+        }
+        stack.pop();
+        marks.insert(name, Mark::Done);
+        order.push(spec.clone());
+        Ok(())
+    }
+
+    let mut stack = Vec::new();
+    for name in chosen.keys() {
+        visit(name, registry, chosen, &mut marks, &mut order, &mut stack)?;
+    }
+    Ok(Resolution { packages: order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::PackageSpec;
+
+    fn v(s: &str) -> Version {
+        Version::parse(s).unwrap()
+    }
+
+    fn simple_registry() -> PackageRegistry {
+        let mut reg = PackageRegistry::new();
+        reg.add(
+            PackageSpec::new("app", v("1.0.0")).with_deps(vec![
+                Requirement::at_least("libx", v("1.0.0")),
+                Requirement::any("liby"),
+            ]),
+        );
+        reg.add(PackageSpec::new("libx", v("1.0.0")));
+        reg.add(PackageSpec::new("libx", v("2.0.0")));
+        reg.add(
+            PackageSpec::new("liby", v("1.0.0"))
+                .with_deps(vec![Requirement::any("libz")]),
+        );
+        reg.add(PackageSpec::new("libz", v("0.1.0")));
+        reg
+    }
+
+    #[test]
+    fn resolves_transitive_closure_in_install_order() {
+        let reg = simple_registry();
+        let res = resolve(&reg, &[Requirement::any("app")]).unwrap();
+        let names: Vec<&str> = res.packages.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names.len(), 4);
+        // every dep precedes its dependent
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(pos("libx") < pos("app"));
+        assert!(pos("liby") < pos("app"));
+        assert!(pos("libz") < pos("liby"));
+        // highest version of libx selected
+        assert_eq!(
+            res.packages.iter().find(|p| p.name == "libx").unwrap().version,
+            v("2.0.0")
+        );
+    }
+
+    #[test]
+    fn exact_constraint_pins_version() {
+        let reg = simple_registry();
+        let res = resolve(
+            &reg,
+            &[
+                Requirement::any("app"),
+                Requirement::exact("libx", v("1.0.0")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            res.packages.iter().find(|p| p.name == "libx").unwrap().version,
+            v("1.0.0")
+        );
+    }
+
+    #[test]
+    fn conflicting_exact_constraints_error() {
+        let reg = simple_registry();
+        let e = resolve(
+            &reg,
+            &[
+                Requirement::exact("libx", v("1.0.0")),
+                Requirement::exact("libx", v("2.0.0")),
+            ],
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("conflicting constraints"), "{e}");
+    }
+
+    #[test]
+    fn missing_package_errors() {
+        let reg = simple_registry();
+        let e = resolve(&reg, &[Requirement::any("numpy")]).unwrap_err();
+        assert!(e.to_string().contains("no such package: numpy"));
+    }
+
+    #[test]
+    fn missing_transitive_dep_errors() {
+        let mut reg = PackageRegistry::new();
+        reg.add(
+            PackageSpec::new("a", v("1.0.0")).with_deps(vec![Requirement::any("ghost")]),
+        );
+        let e = resolve(&reg, &[Requirement::any("a")]).unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn dependency_cycle_is_rejected() {
+        let mut reg = PackageRegistry::new();
+        reg.add(PackageSpec::new("a", v("1.0.0")).with_deps(vec![Requirement::any("b")]));
+        reg.add(PackageSpec::new("b", v("1.0.0")).with_deps(vec![Requirement::any("a")]));
+        let e = resolve(&reg, &[Requirement::any("a")]).unwrap_err();
+        assert!(e.to_string().contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn self_cycle_is_rejected() {
+        let mut reg = PackageRegistry::new();
+        reg.add(PackageSpec::new("a", v("1.0.0")).with_deps(vec![Requirement::any("a")]));
+        let e = resolve(&reg, &[Requirement::any("a")]).unwrap_err();
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn constraint_demotion_changes_dependency_set() {
+        // v2 of "web" depends on "http2"; v1 depends on "http1". A sibling
+        // constraint forces web back to v1, and the final closure must
+        // contain http1, not http2.
+        let mut reg = PackageRegistry::new();
+        reg.add(
+            PackageSpec::new("web", v("2.0.0")).with_deps(vec![Requirement::any("http2")]),
+        );
+        reg.add(
+            PackageSpec::new("web", v("1.0.0")).with_deps(vec![Requirement::any("http1")]),
+        );
+        reg.add(PackageSpec::new("http1", v("1.0.0")));
+        reg.add(PackageSpec::new("http2", v("1.0.0")));
+        reg.add(
+            PackageSpec::new("site", v("1.0.0"))
+                .with_deps(vec![Requirement::exact("web", v("1.0.0"))]),
+        );
+        let res = resolve(
+            &reg,
+            &[Requirement::any("web"), Requirement::any("site")],
+        )
+        .unwrap();
+        assert!(res.contains("http1"));
+        // http2 may remain from the first round's walk only if constraints
+        // still reference it; the fixpoint walk re-derives from chosen
+        // versions, so it must be gone
+        assert!(!res.contains("http2"), "{:?}", res.packages);
+    }
+
+    #[test]
+    fn diamond_dependency_is_deduplicated() {
+        let mut reg = PackageRegistry::new();
+        reg.add(
+            PackageSpec::new("top", v("1.0.0")).with_deps(vec![
+                Requirement::any("left"),
+                Requirement::any("right"),
+            ]),
+        );
+        reg.add(
+            PackageSpec::new("left", v("1.0.0")).with_deps(vec![Requirement::any("base")]),
+        );
+        reg.add(
+            PackageSpec::new("right", v("1.0.0")).with_deps(vec![Requirement::any("base")]),
+        );
+        reg.add(PackageSpec::new("base", v("1.0.0")));
+        let res = resolve(&reg, &[Requirement::any("top")]).unwrap();
+        assert_eq!(res.packages.len(), 4);
+        assert_eq!(
+            res.packages.iter().filter(|p| p.name == "base").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn resolution_size_accounting() {
+        let mut reg = PackageRegistry::new();
+        reg.add(
+            PackageSpec::new("a", v("1.0.0"))
+                .with_sizes(100, 1000, 10)
+                .with_deps(vec![Requirement::any("b")]),
+        );
+        reg.add(PackageSpec::new("b", v("1.0.0")).with_sizes(50, 500, 5).no_module());
+        let res = resolve(&reg, &[Requirement::any("a")]).unwrap();
+        assert_eq!(res.packed_bytes(), 150);
+        assert_eq!(res.unpacked_bytes(), 1500);
+        assert_eq!(res.file_count(), 15);
+        assert_eq!(res.provided_modules(), vec!["a"]);
+    }
+
+    #[test]
+    fn empty_requirements_resolve_to_empty() {
+        let reg = simple_registry();
+        let res = resolve(&reg, &[]).unwrap();
+        assert!(res.packages.is_empty());
+        assert_eq!(res.packed_bytes(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Abstract syntax tree for vinescript.
+//!
+//! The AST is the unit the paper's discover mechanism operates on: source
+//! extraction produces it via the parser, import scanning walks it
+//! ([`crate::inspect::scan_imports`]), and the serializer
+//! ([`crate::pickle`]) encodes it byte-for-byte so functions without a
+//! source form can still be shipped to workers.
+
+use std::rc::Rc;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    None,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    List(Vec<Expr>),
+    /// Dict literal; keys are expressions evaluating to strings.
+    Dict(Vec<(Expr, Expr)>),
+    Var(String),
+    /// `object.attr` — module member access.
+    Attr(Box<Expr>, String),
+    Index(Box<Expr>, Box<Expr>),
+    Call(Box<Expr>, Vec<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Anonymous function: `fn (x, y) { ... }`. Has no extractable source
+    /// inside a larger expression, so it must travel serialized — exactly
+    /// the case the paper's cloudpickle path exists for.
+    Lambda(Rc<FuncDef>),
+}
+
+/// Assignment target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Target {
+    Var(String),
+    Index(Expr, Expr),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    Import(String),
+    FuncDef(Rc<FuncDef>),
+    Assign(Target, Expr),
+    /// `x += e` / `x -= e` desugared at parse time into Assign.
+    Global(Vec<String>),
+    If(Vec<(Expr, Vec<Stmt>)>, Option<Vec<Stmt>>),
+    While(Expr, Vec<Stmt>),
+    For(String, Expr, Vec<Stmt>),
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    Expr(Expr),
+}
+
+/// A function definition: the code object of vinescript.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    /// Empty string for lambdas.
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+pub type Program = Vec<Stmt>;
+
+impl FuncDef {
+    pub fn is_lambda(&self) -> bool {
+        self.name.is_empty()
+    }
+}
+
+/// Walk every statement in a program (pre-order), including nested blocks
+/// and function bodies. The traversal backbone for import scanning and
+/// other static analyses.
+pub fn walk_stmts<'a>(stmts: &'a [Stmt], visit: &mut dyn FnMut(&'a Stmt)) {
+    for s in stmts {
+        visit(s);
+        match s {
+            Stmt::FuncDef(f) => walk_stmts(&f.body, visit),
+            Stmt::If(arms, els) => {
+                for (_, body) in arms {
+                    walk_stmts(body, visit);
+                }
+                if let Some(e) = els {
+                    walk_stmts(e, visit);
+                }
+            }
+            Stmt::While(_, body) | Stmt::For(_, _, body) => walk_stmts(body, visit),
+            Stmt::Assign(_, e) | Stmt::Expr(e) | Stmt::Return(Some(e)) => {
+                walk_exprs_in(e, &mut |expr| {
+                    if let Expr::Lambda(f) = expr {
+                        walk_stmts(&f.body, visit);
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walk an expression tree pre-order.
+pub fn walk_exprs_in<'a>(e: &'a Expr, visit: &mut dyn FnMut(&'a Expr)) {
+    visit(e);
+    match e {
+        Expr::List(items) => {
+            for it in items {
+                walk_exprs_in(it, visit);
+            }
+        }
+        Expr::Dict(pairs) => {
+            for (k, v) in pairs {
+                walk_exprs_in(k, visit);
+                walk_exprs_in(v, visit);
+            }
+        }
+        Expr::Attr(obj, _) => walk_exprs_in(obj, visit),
+        Expr::Index(obj, idx) => {
+            walk_exprs_in(obj, visit);
+            walk_exprs_in(idx, visit);
+        }
+        Expr::Call(f, args) => {
+            walk_exprs_in(f, visit);
+            for a in args {
+                walk_exprs_in(a, visit);
+            }
+        }
+        Expr::Unary(_, x) => walk_exprs_in(x, visit),
+        Expr::Binary(_, a, b) => {
+            walk_exprs_in(a, visit);
+            walk_exprs_in(b, visit);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_visits_nested_function_bodies() {
+        let inner = Stmt::Import("nn".into());
+        let f = FuncDef {
+            name: "f".into(),
+            params: vec![],
+            body: vec![inner],
+        };
+        let prog = vec![Stmt::FuncDef(Rc::new(f))];
+        let mut imports = Vec::new();
+        walk_stmts(&prog, &mut |s| {
+            if let Stmt::Import(m) = s {
+                imports.push(m.clone());
+            }
+        });
+        assert_eq!(imports, vec!["nn".to_string()]);
+    }
+
+    #[test]
+    fn walk_visits_lambda_bodies_in_expressions() {
+        let lambda = Expr::Lambda(Rc::new(FuncDef {
+            name: String::new(),
+            params: vec!["x".into()],
+            body: vec![Stmt::Import("mathx".into())],
+        }));
+        let prog = vec![Stmt::Assign(Target::Var("g".into()), lambda)];
+        let mut imports = Vec::new();
+        walk_stmts(&prog, &mut |s| {
+            if let Stmt::Import(m) = s {
+                imports.push(m.clone());
+            }
+        });
+        assert_eq!(imports, vec!["mathx".to_string()]);
+    }
+
+    #[test]
+    fn lambda_detection() {
+        let f = FuncDef {
+            name: String::new(),
+            params: vec![],
+            body: vec![],
+        };
+        assert!(f.is_lambda());
+    }
+}

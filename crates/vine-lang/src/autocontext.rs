@@ -1,0 +1,425 @@
+//! Automatic context detection — the paper's future work, implemented.
+//!
+//! The paper deliberately scopes this out: "this paper doesn't aim at
+//! automating context hoisting as in the compiler literature: it provides
+//! the supporting mechanisms for users or other systems to do so. Thus,
+//! while automatic context detection is a promising idea, it is out of
+//! scope" (§2.1.3), and its future work asks for "a seamless discovery of
+//! high-level contexts among invocations to the same function, with
+//! necessary code, data, and dependencies packaged automatically without
+//! the need for user intervention" (§6).
+//!
+//! This module is that seamless discovery, by static analysis of a module:
+//! given the work function(s) a user wants to invoke remotely, classify
+//! every module-level statement as **hoistable context** (deterministic
+//! setup the function only reads — the loop-invariant code of the
+//! compiler analogy) or **per-invocation residue**, and emit a synthesized
+//! `context_setup` function plus the import set. The result plugs
+//! directly into a `LibrarySpec`.
+//!
+//! The analysis is conservative: a global that any work function *writes*
+//! is state the invocations mutate, so its defining statements are NOT
+//! hoisted (they must re-run per fork / stay out of the shared context);
+//! statements calling `eval`/`exec` or functions we cannot see are treated
+//! as effectful and kept in original order within the hoisted prefix only
+//! if every name they touch is itself hoistable.
+
+use crate::ast::{walk_exprs_in, Expr, FuncDef, Program, Stmt, Target};
+use crate::inspect::{format_funcdef, format_program};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use vine_core::{Result, VineError};
+
+/// The outcome of automatic context discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredContext {
+    /// Synthesized `context_setup` source: the hoistable module-level
+    /// statements wrapped in a function that publishes their bindings via
+    /// `global`.
+    pub setup_source: String,
+    /// Names the setup publishes into the namespace.
+    pub provides: Vec<String>,
+    /// Module-level statements that could NOT be hoisted (they write
+    /// state the work functions also write, or depend on such state).
+    pub residue: Vec<String>,
+    /// Modules the context needs installed (import scan over the hoisted
+    /// statements and the work functions).
+    pub imports: Vec<String>,
+    /// Source of the work functions themselves plus every helper function
+    /// they transitively call.
+    pub code_source: String,
+}
+
+/// Names a statement defines at module level.
+fn defined_names(stmt: &Stmt) -> Vec<String> {
+    match stmt {
+        Stmt::Import(name) => vec![name.clone()],
+        Stmt::FuncDef(f) => vec![f.name.clone()],
+        Stmt::Assign(Target::Var(name), _) => vec![name.clone()],
+        _ => Vec::new(),
+    }
+}
+
+/// Free variable names an expression reads.
+fn expr_reads(e: &Expr, out: &mut BTreeSet<String>) {
+    walk_exprs_in(e, &mut |x| {
+        if let Expr::Var(name) = x {
+            out.insert(name.clone());
+        }
+    });
+}
+
+/// Names a statement (transitively, through nested blocks) reads.
+fn stmt_reads(stmt: &Stmt, out: &mut BTreeSet<String>) {
+    match stmt {
+        Stmt::Import(_) | Stmt::Break | Stmt::Continue | Stmt::Global(_) => {}
+        Stmt::FuncDef(f) => {
+            // a function definition "reads" its free variables at call time;
+            // conservatively collect everything its body mentions
+            for s in &f.body {
+                stmt_reads(s, out);
+            }
+            for p in &f.params {
+                out.remove(p);
+            }
+        }
+        Stmt::Assign(target, e) => {
+            if let Target::Index(obj, idx) = target {
+                expr_reads(obj, out);
+                expr_reads(idx, out);
+            }
+            expr_reads(e, out);
+        }
+        Stmt::If(arms, els) => {
+            for (c, body) in arms {
+                expr_reads(c, out);
+                for s in body {
+                    stmt_reads(s, out);
+                }
+            }
+            if let Some(body) = els {
+                for s in body {
+                    stmt_reads(s, out);
+                }
+            }
+        }
+        Stmt::While(c, body) => {
+            expr_reads(c, out);
+            for s in body {
+                stmt_reads(s, out);
+            }
+        }
+        Stmt::For(var, iter, body) => {
+            expr_reads(iter, out);
+            for s in body {
+                stmt_reads(s, out);
+            }
+            out.remove(var);
+        }
+        Stmt::Return(Some(e)) | Stmt::Expr(e) => expr_reads(e, out),
+        Stmt::Return(None) => {}
+    }
+}
+
+/// Global names a function writes (assignments to names it declared
+/// `global`, directly or in nested blocks).
+fn function_global_writes(def: &FuncDef) -> BTreeSet<String> {
+    let mut declared = BTreeSet::new();
+    crate::ast::walk_stmts(&def.body, &mut |s| {
+        if let Stmt::Global(names) = s {
+            declared.extend(names.iter().cloned());
+        }
+    });
+    let mut written = BTreeSet::new();
+    crate::ast::walk_stmts(&def.body, &mut |s| {
+        if let Stmt::Assign(Target::Var(name), _) = s {
+            if declared.contains(name) {
+                written.insert(name.clone());
+            }
+        }
+        // index-assignments into a global container mutate it too
+        if let Stmt::Assign(Target::Index(Expr::Var(name), _), _) = s {
+            if declared.contains(name) {
+                written.insert(name.clone());
+            }
+        }
+    });
+    written
+}
+
+/// Discover the reusable context of `work_functions` within `module_src`.
+pub fn discover(module_src: &str, work_functions: &[&str]) -> Result<DiscoveredContext> {
+    let prog: Program = crate::parse(module_src)?;
+
+    // locate the work functions and the helpers they transitively call
+    let mut funcs: Vec<Rc<FuncDef>> = Vec::new();
+    for stmt in &prog {
+        if let Stmt::FuncDef(f) = stmt {
+            funcs.push(Rc::clone(f));
+        }
+    }
+    let find = |name: &str| -> Result<Rc<FuncDef>> {
+        funcs
+            .iter()
+            .find(|f| f.name == name)
+            .cloned()
+            .ok_or_else(|| VineError::Lang(format!("no function '{name}' in module")))
+    };
+
+    // transitive closure of called helper functions
+    let mut needed: Vec<Rc<FuncDef>> = Vec::new();
+    let mut queue: Vec<Rc<FuncDef>> = work_functions
+        .iter()
+        .map(|n| find(n))
+        .collect::<Result<_>>()?;
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    while let Some(f) = queue.pop() {
+        if !seen.insert(f.name.clone()) {
+            continue;
+        }
+        let mut reads = BTreeSet::new();
+        stmt_reads(&Stmt::FuncDef(Rc::clone(&f)), &mut reads);
+        for name in &reads {
+            if let Ok(helper) = find(name) {
+                queue.push(helper);
+            }
+        }
+        needed.push(f);
+    }
+
+    // names the work set mutates: their defining statements cannot hoist
+    let mut mutated: BTreeSet<String> = BTreeSet::new();
+    for f in &needed {
+        mutated.extend(function_global_writes(f));
+    }
+
+    // walk module-level statements in order; hoist those that only define
+    // or read non-mutated, already-hoistable names
+    let mut hoistable_names: BTreeSet<String> = BTreeSet::new();
+    let mut hoisted: Vec<Stmt> = Vec::new();
+    let mut residue: Vec<String> = Vec::new();
+    let mut imports: BTreeSet<String> = BTreeSet::new();
+
+    for stmt in &prog {
+        if let Stmt::FuncDef(f) = stmt {
+            // function definitions travel as code, not as context setup
+            hoistable_names.insert(f.name.clone());
+            continue;
+        }
+        let defines = defined_names(stmt);
+        let mut reads = BTreeSet::new();
+        stmt_reads(stmt, &mut reads);
+
+        let touches_mutated = defines.iter().chain(reads.iter()).any(|n| mutated.contains(n));
+        // every module-level name it reads must itself be hoisted (builtins
+        // and locals are not module-level defines, so only check names some
+        // earlier statement defined)
+        let unhoisted_dep = reads.iter().any(|n| {
+            prog.iter().any(|s| defined_names(s).contains(n)) && !hoistable_names.contains(n)
+        });
+        if touches_mutated || unhoisted_dep {
+            residue.push(format_program(&vec![stmt.clone()]).trim_end().to_string());
+            continue;
+        }
+        if let Stmt::Import(m) = stmt {
+            imports.insert(m.clone());
+        }
+        hoistable_names.extend(defines.iter().cloned());
+        hoisted.push(stmt.clone());
+    }
+
+    // imports inside the needed functions are context too
+    for f in &needed {
+        imports.extend(crate::inspect::scan_function_imports(f));
+    }
+
+    // synthesize context_setup: global declarations + hoisted statements
+    let provides: Vec<String> = hoisted
+        .iter()
+        .flat_map(defined_names)
+        .filter(|n| !imports.contains(n))
+        .collect();
+    // everything the setup binds — including imported modules, which the
+    // work functions must see in the *global* namespace — is declared
+    // `global` so it survives the setup function's return
+    let mut published: Vec<String> = hoisted.iter().flat_map(defined_names).collect();
+    published.sort();
+    published.dedup();
+    let setup = FuncDef {
+        name: "context_setup".into(),
+        params: vec![],
+        body: {
+            let mut body = Vec::new();
+            if !published.is_empty() {
+                body.push(Stmt::Global(published));
+            }
+            body.extend(hoisted.iter().cloned());
+            body
+        },
+    };
+
+    // the code artifact: every needed function, in module order
+    let mut code_source = String::new();
+    for f in funcs.iter().filter(|f| seen.contains(&f.name)) {
+        code_source.push_str(&format_funcdef(f));
+        code_source.push('\n');
+    }
+
+    Ok(DiscoveredContext {
+        setup_source: format_funcdef(&setup),
+        provides,
+        residue,
+        imports: imports.into_iter().collect(),
+        code_source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+
+    const MODULE: &str = r#"
+        import nn
+        import mathx
+
+        model_path = "resnet50.bin"
+        model_dim = 64
+        model = nn.load_model(4, model_dim)
+        request_count = 0
+
+        def preprocess(img) {
+            return img % model_dim
+        }
+
+        def infer(img) {
+            global request_count
+            request_count = request_count + 1
+            return nn.forward(model, preprocess(img))
+        }
+    "#;
+
+    #[test]
+    fn hoists_deterministic_setup() {
+        let ctx = discover(MODULE, &["infer"]).unwrap();
+        // the model build and its parameters hoist...
+        assert!(ctx.provides.contains(&"model".to_string()), "{ctx:?}");
+        assert!(ctx.provides.contains(&"model_dim".to_string()));
+        assert!(ctx.provides.contains(&"model_path".to_string()));
+        // ...but the mutable request counter does not
+        assert!(!ctx.provides.contains(&"request_count".to_string()));
+        assert_eq!(ctx.residue.len(), 1, "{:?}", ctx.residue);
+        assert!(ctx.residue[0].contains("request_count"));
+    }
+
+    #[test]
+    fn collects_imports_and_helpers() {
+        let ctx = discover(MODULE, &["infer"]).unwrap();
+        assert!(ctx.imports.contains(&"nn".to_string()));
+        // mathx is imported at module level and hoistable
+        assert!(ctx.imports.contains(&"mathx".to_string()));
+        // the transitive helper travels with the work function
+        assert!(ctx.code_source.contains("def preprocess"));
+        assert!(ctx.code_source.contains("def infer"));
+    }
+
+    #[test]
+    fn synthesized_setup_actually_runs() {
+        let ctx = discover(MODULE, &["infer"]).unwrap();
+        let mut interp =
+            Interp::with_registry(vine_lang_test_registry());
+        interp.exec_source(&ctx.setup_source).unwrap();
+        interp.exec_source(&ctx.code_source).unwrap();
+        interp.exec_source("context_setup()").unwrap();
+        // the context is live: infer works and mutable state starts fresh
+        interp.set_global("request_count", crate::Value::Int(0));
+        let out = interp
+            .call_global("infer", &[crate::Value::Int(5)])
+            .unwrap();
+        assert!(matches!(out, crate::Value::Int(_)));
+        assert_eq!(
+            interp.get_global("request_count").unwrap(),
+            crate::Value::Int(1)
+        );
+        // and the hoisted model is in the namespace, set up exactly once
+        assert!(interp.get_global("model").is_some());
+    }
+
+    fn vine_lang_test_registry() -> crate::ModuleRegistry {
+        use crate::modules::native;
+        let mut reg = crate::ModuleRegistry::new();
+        reg.register_native("nn", || {
+            vec![
+                native("load_model", |args| {
+                    let layers = args[0].as_int()?;
+                    Ok(crate::Value::Int(layers * 1000))
+                }),
+                native("forward", |args| {
+                    Ok(crate::Value::Int(
+                        args[0].as_int()? + args[1].as_int()?,
+                    ))
+                }),
+            ]
+        });
+        reg.register_native("mathx", Vec::new);
+        reg
+    }
+
+    #[test]
+    fn statement_depending_on_residue_is_residue() {
+        let src = r#"
+            def bump() {
+                global counter
+                counter = counter + 1
+            }
+            counter = 0
+            derived = counter + 10
+            stable = 5
+        "#;
+        let ctx = discover(src, &["bump"]).unwrap();
+        assert!(!ctx.provides.contains(&"counter".to_string()));
+        assert!(
+            !ctx.provides.contains(&"derived".to_string()),
+            "reads a non-hoistable name"
+        );
+        assert!(ctx.provides.contains(&"stable".to_string()));
+        assert_eq!(ctx.residue.len(), 2);
+    }
+
+    #[test]
+    fn container_mutation_counts_as_write() {
+        let src = r#"
+            cache = {}
+            def memo(k, v) {
+                global cache
+                cache[k] = v
+                return cache[k]
+            }
+        "#;
+        let ctx = discover(src, &["memo"]).unwrap();
+        assert!(
+            !ctx.provides.contains(&"cache".to_string()),
+            "index-assignment into a global is a mutation: {ctx:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        assert!(discover(MODULE, &["missing"]).is_err());
+    }
+
+    #[test]
+    fn pure_module_hoists_everything() {
+        let src = r#"
+            import mathx
+            table = [1, 2, 3]
+            def lookup(i) { return table[i] }
+        "#;
+        let ctx = discover(src, &["lookup"]).unwrap();
+        assert_eq!(ctx.provides, vec!["table".to_string()]);
+        assert!(ctx.residue.is_empty());
+        // mathx is unused by `lookup` but module-level imports are cheap to
+        // keep: they hoist with the rest
+        assert!(ctx.imports.contains(&"mathx".to_string()));
+    }
+}

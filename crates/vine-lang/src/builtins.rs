@@ -1,0 +1,517 @@
+//! Built-in functions available in every interpreter without imports.
+//!
+//! Builtins are resolved *after* user definitions, so scripts can shadow
+//! them. `eval`/`exec` deserve note: they create functions with no source
+//! form — the case that forces the discover mechanism down the
+//! serialization path (paper §2.2.1: "functions that result from dynamic
+//! execution of a given string").
+
+use crate::interp::Interp;
+use crate::value::{Tensor, Value};
+use vine_core::{Result, VineError};
+
+fn arity(name: &str, args: &[Value], want: usize) -> Result<()> {
+    if args.len() != want {
+        return Err(VineError::Lang(format!(
+            "{name}() takes {want} argument(s), got {}",
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Dispatch a builtin by name. Returns `Ok(None)` when `name` is not a
+/// builtin (the caller then resolves it as an ordinary variable).
+pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<Option<Value>> {
+    let v = match name {
+        "len" => {
+            arity(name, args, 1)?;
+            Some(Value::Int(match &args[0] {
+                Value::Str(s) => s.chars().count() as i64,
+                Value::Bytes(b) => b.len() as i64,
+                Value::List(l) => l.borrow().len() as i64,
+                Value::Dict(d) => d.borrow().len() as i64,
+                Value::Tensor(t) => t.len() as i64,
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "len() of {}",
+                        other.type_name()
+                    )))
+                }
+            }))
+        }
+        "range" => {
+            let (start, stop) = match args.len() {
+                1 => (0, args[0].as_int()?),
+                2 => (args[0].as_int()?, args[1].as_int()?),
+                n => {
+                    return Err(VineError::Lang(format!(
+                        "range() takes 1 or 2 arguments, got {n}"
+                    )))
+                }
+            };
+            Some(Value::list((start..stop).map(Value::Int).collect()))
+        }
+        "print" => {
+            let line = args
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            interp.output.push(line);
+            Some(Value::None)
+        }
+        "push" => {
+            arity(name, args, 2)?;
+            match &args[0] {
+                Value::List(l) => {
+                    l.borrow_mut().push(args[1].clone());
+                    Some(Value::None)
+                }
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "push() on {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        "pop" => {
+            arity(name, args, 1)?;
+            match &args[0] {
+                Value::List(l) => Some(
+                    l.borrow_mut()
+                        .pop()
+                        .ok_or_else(|| VineError::Lang("pop() from empty list".into()))?,
+                ),
+                other => {
+                    return Err(VineError::Lang(format!("pop() on {}", other.type_name())))
+                }
+            }
+        }
+        "keys" => {
+            arity(name, args, 1)?;
+            match &args[0] {
+                Value::Dict(d) => Some(Value::list(
+                    d.borrow().keys().map(|k| Value::str(k.clone())).collect(),
+                )),
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "keys() on {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        "has_key" => {
+            arity(name, args, 2)?;
+            match &args[0] {
+                Value::Dict(d) => Some(Value::Bool(d.borrow().contains_key(args[1].as_str()?))),
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "has_key() on {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        "str" => {
+            arity(name, args, 1)?;
+            Some(Value::str(args[0].to_string()))
+        }
+        "int" => {
+            arity(name, args, 1)?;
+            Some(Value::Int(match &args[0] {
+                Value::Int(v) => *v,
+                Value::Float(v) => *v as i64,
+                Value::Bool(b) => *b as i64,
+                Value::Str(s) => s
+                    .trim()
+                    .parse()
+                    .map_err(|_| VineError::Lang(format!("int() cannot parse '{s}'")))?,
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "int() of {}",
+                        other.type_name()
+                    )))
+                }
+            }))
+        }
+        "float" => {
+            arity(name, args, 1)?;
+            Some(Value::Float(match &args[0] {
+                Value::Str(s) => s
+                    .trim()
+                    .parse()
+                    .map_err(|_| VineError::Lang(format!("float() cannot parse '{s}'")))?,
+                other => other.as_float()?,
+            }))
+        }
+        "abs" => {
+            arity(name, args, 1)?;
+            Some(match &args[0] {
+                Value::Int(v) => Value::Int(v.abs()),
+                other => Value::Float(other.as_float()?.abs()),
+            })
+        }
+        "min" | "max" => {
+            if args.is_empty() {
+                return Err(VineError::Lang(format!("{name}() of no arguments")));
+            }
+            let items: Vec<Value> = if args.len() == 1 {
+                match &args[0] {
+                    Value::List(l) => l.borrow().clone(),
+                    other => vec![other.clone()],
+                }
+            } else {
+                args.to_vec()
+            };
+            if items.is_empty() {
+                return Err(VineError::Lang(format!("{name}() of empty list")));
+            }
+            let mut best = items[0].as_float()?;
+            let mut best_idx = 0;
+            for (i, item) in items.iter().enumerate().skip(1) {
+                let v = item.as_float()?;
+                let better = if name == "min" { v < best } else { v > best };
+                if better {
+                    best = v;
+                    best_idx = i;
+                }
+            }
+            Some(items[best_idx].clone())
+        }
+        "sum" => {
+            arity(name, args, 1)?;
+            match &args[0] {
+                Value::List(l) => {
+                    let items = l.borrow();
+                    let mut acc_i: i64 = 0;
+                    let mut acc_f: f64 = 0.0;
+                    let mut any_float = false;
+                    for item in items.iter() {
+                        match item {
+                            Value::Int(v) => acc_i = acc_i.checked_add(*v).ok_or_else(|| {
+                                VineError::Lang("integer overflow in sum()".into())
+                            })?,
+                            other => {
+                                any_float = true;
+                                acc_f += other.as_float()?;
+                            }
+                        }
+                    }
+                    Some(if any_float {
+                        Value::Float(acc_f + acc_i as f64)
+                    } else {
+                        Value::Int(acc_i)
+                    })
+                }
+                Value::Tensor(t) => Some(Value::Float(t.data.iter().sum())),
+                other => {
+                    return Err(VineError::Lang(format!("sum() of {}", other.type_name())))
+                }
+            }
+        }
+        "sqrt" => {
+            arity(name, args, 1)?;
+            let x = args[0].as_float()?;
+            if x < 0.0 {
+                return Err(VineError::Lang("sqrt() of negative number".into()));
+            }
+            Some(Value::Float(x.sqrt()))
+        }
+        "floor" => {
+            arity(name, args, 1)?;
+            Some(Value::Int(args[0].as_float()?.floor() as i64))
+        }
+        "ceil" => {
+            arity(name, args, 1)?;
+            Some(Value::Int(args[0].as_float()?.ceil() as i64))
+        }
+        "pow" => {
+            arity(name, args, 2)?;
+            match (&args[0], &args[1]) {
+                (Value::Int(a), Value::Int(b)) if *b >= 0 => Some(Value::Int(
+                    a.checked_pow((*b).try_into().map_err(|_| {
+                        VineError::Lang("pow() exponent too large".into())
+                    })?)
+                    .ok_or_else(|| VineError::Lang("integer overflow in pow()".into()))?,
+                )),
+                _ => Some(Value::Float(args[0].as_float()?.powf(args[1].as_float()?))),
+            }
+        }
+        "contains" => {
+            arity(name, args, 2)?;
+            Some(Value::Bool(match &args[0] {
+                Value::List(l) => l.borrow().iter().any(|v| v == &args[1]),
+                Value::Str(s) => s.contains(args[1].as_str()?),
+                Value::Dict(d) => d.borrow().contains_key(args[1].as_str()?),
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "contains() on {}",
+                        other.type_name()
+                    )))
+                }
+            }))
+        }
+        "sorted" => {
+            arity(name, args, 1)?;
+            match &args[0] {
+                Value::List(l) => {
+                    let mut items = l.borrow().clone();
+                    let mut failed = None;
+                    items.sort_by(|a, b| {
+                        match (a.as_float(), b.as_float()) {
+                            (Ok(x), Ok(y)) => {
+                                x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                            }
+                            _ => match (a, b) {
+                                (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                                _ => {
+                                    failed = Some(VineError::Lang(
+                                        "sorted() of mixed non-numeric values".into(),
+                                    ));
+                                    std::cmp::Ordering::Equal
+                                }
+                            },
+                        }
+                    });
+                    if let Some(e) = failed {
+                        return Err(e);
+                    }
+                    Some(Value::list(items))
+                }
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "sorted() of {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        "join" => {
+            arity(name, args, 2)?;
+            let sep = args[0].as_str()?;
+            match &args[1] {
+                Value::List(l) => {
+                    let parts: Vec<String> =
+                        l.borrow().iter().map(|v| v.to_string()).collect();
+                    Some(Value::str(parts.join(sep)))
+                }
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "join() of {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        "split" => {
+            arity(name, args, 2)?;
+            let s = args[0].as_str()?;
+            let sep = args[1].as_str()?;
+            Some(Value::list(
+                s.split(sep).map(|p| Value::str(p.to_string())).collect(),
+            ))
+        }
+        "type" => {
+            arity(name, args, 1)?;
+            Some(Value::str(args[0].type_name()))
+        }
+        "zeros" => {
+            arity(name, args, 1)?;
+            let shape = shape_from(&args[0])?;
+            Some(Value::tensor(Tensor::zeros(shape)))
+        }
+        "tensor" => {
+            arity(name, args, 1)?;
+            match &args[0] {
+                Value::List(l) => {
+                    let data: Result<Vec<f64>> =
+                        l.borrow().iter().map(|v| v.as_float()).collect();
+                    let data = data?;
+                    let n = data.len();
+                    Some(Value::tensor(Tensor::new(vec![n], data)?))
+                }
+                other => {
+                    return Err(VineError::Lang(format!(
+                        "tensor() of {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        "eval" => {
+            arity(name, args, 1)?;
+            let src = args[0].as_str()?.to_string();
+            Some(interp.eval_source(&src)?)
+        }
+        "exec" => {
+            arity(name, args, 1)?;
+            let src = args[0].as_str()?.to_string();
+            interp.exec_source(&src)?;
+            Some(Value::None)
+        }
+        _ => None,
+    };
+    Ok(v)
+}
+
+fn shape_from(v: &Value) -> Result<Vec<usize>> {
+    match v {
+        Value::Int(n) => Ok(vec![usize::try_from(*n)
+            .map_err(|_| VineError::Lang("negative tensor dimension".into()))?]),
+        Value::List(l) => l
+            .borrow()
+            .iter()
+            .map(|d| {
+                usize::try_from(d.as_int()?)
+                    .map_err(|_| VineError::Lang("negative tensor dimension".into()))
+            })
+            .collect(),
+        other => Err(VineError::Lang(format!(
+            "invalid tensor shape: {}",
+            other.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> Value {
+        let mut interp = Interp::new();
+        interp.exec_source(&format!("result = {src}")).unwrap();
+        interp.get_global("result").unwrap()
+    }
+
+    fn eval_err(src: &str) -> String {
+        let mut interp = Interp::new();
+        interp
+            .exec_source(&format!("result = {src}"))
+            .unwrap_err()
+            .to_string()
+    }
+
+    #[test]
+    fn len_of_everything() {
+        assert_eq!(eval("len([1,2,3])"), Value::Int(3));
+        assert_eq!(eval("len(\"hello\")"), Value::Int(5));
+        assert_eq!(eval("len({\"a\": 1})"), Value::Int(1));
+        assert_eq!(eval("len(zeros(7))"), Value::Int(7));
+        assert!(eval_err("len(5)").contains("len() of int"));
+    }
+
+    #[test]
+    fn range_forms() {
+        assert_eq!(
+            eval("range(3)"),
+            Value::list(vec![Value::Int(0), Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            eval("range(2, 5)"),
+            Value::list(vec![Value::Int(2), Value::Int(3), Value::Int(4)])
+        );
+        assert_eq!(eval("range(5, 2)"), Value::list(vec![]));
+    }
+
+    #[test]
+    fn math_builtins() {
+        assert_eq!(eval("abs(-3)"), Value::Int(3));
+        assert_eq!(eval("abs(-3.5)"), Value::Float(3.5));
+        assert_eq!(eval("sqrt(16.0)"), Value::Float(4.0));
+        assert_eq!(eval("floor(2.9)"), Value::Int(2));
+        assert_eq!(eval("ceil(2.1)"), Value::Int(3));
+        assert_eq!(eval("pow(2, 10)"), Value::Int(1024));
+        assert_eq!(eval("pow(2.0, 0.5)"), Value::Float(2f64.powf(0.5)));
+        assert!(eval_err("sqrt(-1.0)").contains("negative"));
+    }
+
+    #[test]
+    fn min_max_sum() {
+        assert_eq!(eval("min([3, 1, 2])"), Value::Int(1));
+        assert_eq!(eval("max(3, 1, 2)"), Value::Int(3));
+        assert_eq!(eval("sum([1, 2, 3])"), Value::Int(6));
+        assert_eq!(eval("sum([1, 2.5])"), Value::Float(3.5));
+        assert!(eval_err("min([])").contains("empty"));
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert_eq!(eval("join(\",\", [1, 2])"), Value::str("1,2"));
+        assert_eq!(
+            eval("split(\"a,b\", \",\")"),
+            Value::list(vec![Value::str("a"), Value::str("b")])
+        );
+        assert_eq!(eval("contains(\"hello\", \"ell\")"), Value::Bool(true));
+        assert_eq!(eval("int(\" 42 \")"), Value::Int(42));
+        assert_eq!(eval("float(\"2.5\")"), Value::Float(2.5));
+        assert!(eval_err("int(\"xyz\")").contains("cannot parse"));
+    }
+
+    #[test]
+    fn sorted_builtin() {
+        assert_eq!(
+            eval("sorted([3, 1, 2])"),
+            Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            eval("sorted([\"b\", \"a\"])"),
+            Value::list(vec![Value::str("a"), Value::str("b")])
+        );
+    }
+
+    #[test]
+    fn tensor_builtins() {
+        assert_eq!(eval("len(zeros([2, 3]))"), Value::Int(6));
+        assert_eq!(eval("sum(tensor([1, 2, 3]))"), Value::Float(6.0));
+        assert_eq!(eval("tensor([1.5, 2.5])[1]"), Value::Float(2.5));
+    }
+
+    #[test]
+    fn print_captures_output() {
+        let mut interp = Interp::new();
+        interp.exec_source("print(\"a\", 1, [2])").unwrap();
+        assert_eq!(interp.output, vec!["a 1 [2]"]);
+    }
+
+    #[test]
+    fn eval_builtin_dynamic_code() {
+        assert_eq!(eval("eval(\"2 + 3\")"), Value::Int(5));
+    }
+
+    #[test]
+    fn exec_builtin_defines_functions_dynamically() {
+        // the paper's "functions that result from dynamic execution of a
+        // given string" — these have no source file to inspect
+        let mut interp = Interp::new();
+        interp
+            .exec_source("exec(\"def dyn(x) { return x * 7 }\")\ny = dyn(6)")
+            .unwrap();
+        assert_eq!(interp.get_global("y").unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn type_builtin() {
+        assert_eq!(eval("type(3)"), Value::str("int"));
+        assert_eq!(eval("type([])"), Value::str("list"));
+        assert_eq!(eval("type(none)"), Value::str("none"));
+    }
+
+    #[test]
+    fn has_key_and_keys() {
+        assert_eq!(eval("has_key({\"a\": 1}, \"a\")"), Value::Bool(true));
+        assert_eq!(eval("has_key({\"a\": 1}, \"b\")"), Value::Bool(false));
+        assert_eq!(
+            eval("keys({\"b\": 2, \"a\": 1})"),
+            Value::list(vec![Value::str("a"), Value::str("b")])
+        );
+    }
+
+    #[test]
+    fn pop_and_push() {
+        assert_eq!(eval("pop([1, 2, 3])"), Value::Int(3));
+        assert!(eval_err("pop([])").contains("empty"));
+    }
+}

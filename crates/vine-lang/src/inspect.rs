@@ -1,0 +1,365 @@
+//! Source inspection: the `inspect` + Poncho analogue.
+//!
+//! The discover mechanism (paper §3.2) "first tries to extract the source
+//! code of such functions using the built-in inspect module … If successful,
+//! TaskVine adds the source code of the functions to the context … Otherwise
+//! TaskVine serializes the functions to files using cloudpickle." And for
+//! dependencies, Poncho "scan[s] their ASTs for imported modules".
+//!
+//! * [`extract_source`] — recover a named function's source from its
+//!   defining module text (via parse + pretty-print, so the result is
+//!   canonical and re-parseable).
+//! * [`scan_imports`] — collect every module a function's AST imports,
+//!   including inside nested functions and lambdas.
+//! * [`format_program`] / [`format_funcdef`] — the canonical pretty-printer
+//!   (sub-expressions are fully parenthesized, making round-tripping
+//!   trivially precedence-safe).
+
+use crate::ast::{walk_stmts, BinOp, Expr, FuncDef, Program, Stmt, Target, UnOp};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Extract the source of a top-level function `name` from module source
+/// text. Returns `None` if parsing fails or no such function exists — the
+/// caller then falls back to serializing the code object, exactly like the
+/// paper's inspect-then-cloudpickle cascade.
+pub fn extract_source(module_src: &str, name: &str) -> Option<String> {
+    let prog = crate::parse(module_src).ok()?;
+    for stmt in &prog {
+        if let Stmt::FuncDef(def) = stmt {
+            if def.name == name {
+                return Some(format_funcdef(def));
+            }
+        }
+    }
+    None
+}
+
+/// Collect module names imported anywhere inside `stmts` (nested blocks,
+/// inner functions, and lambdas included). Sorted and deduplicated.
+pub fn scan_imports(stmts: &[Stmt]) -> Vec<String> {
+    let mut found = BTreeSet::new();
+    walk_stmts(stmts, &mut |s| {
+        if let Stmt::Import(name) = s {
+            found.insert(name.clone());
+        }
+    });
+    found.into_iter().collect()
+}
+
+/// Imports of a single function definition.
+pub fn scan_function_imports(def: &FuncDef) -> Vec<String> {
+    scan_imports(&def.body)
+}
+
+// ---------- pretty-printer ----------
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+    }
+}
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\0' => out.push_str("\\0"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an expression. Composite sub-expressions are parenthesized, so
+/// output never depends on printer-side precedence knowledge.
+pub fn format_expr(e: &Expr) -> String {
+    match e {
+        Expr::None => "none".into(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => {
+            // Debug is the shortest round-trip form and always contains a
+            // '.' or an exponent, so it re-lexes as a float (Display would
+            // print 1e300 as 300 digits, which re-lexes as a too-big int)
+            format!("{v:?}")
+        }
+        Expr::Str(s) => escape_str(s),
+        Expr::List(items) => {
+            let inner: Vec<String> = items.iter().map(format_expr).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Expr::Dict(pairs) => {
+            let inner: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{}: {}", format_expr(k), format_expr(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Attr(obj, attr) => format!("{}.{}", format_postfix_base(obj), attr),
+        Expr::Index(obj, idx) => {
+            format!("{}[{}]", format_postfix_base(obj), format_expr(idx))
+        }
+        Expr::Call(f, args) => {
+            let inner: Vec<String> = args.iter().map(format_expr).collect();
+            format!("{}({})", format_postfix_base(f), inner.join(", "))
+        }
+        Expr::Unary(UnOp::Neg, inner) => format!("(-{})", format_expr(inner)),
+        Expr::Unary(UnOp::Not, inner) => format!("(not {})", format_expr(inner)),
+        Expr::Binary(op, l, r) => format!(
+            "({} {} {})",
+            format_expr(l),
+            binop_str(*op),
+            format_expr(r)
+        ),
+        Expr::Lambda(def) => {
+            let mut s = format!("fn ({}) {{\n", def.params.join(", "));
+            write_block(&mut s, &def.body, 1);
+            s.push('}');
+            s
+        }
+    }
+}
+
+/// Postfix bases (the `f` in `f(x)`, the `a` in `a[i]` / `a.b`) need parens
+/// only when they are themselves operator expressions.
+fn format_postfix_base(e: &Expr) -> String {
+    match e {
+        Expr::Binary(..) | Expr::Unary(..) | Expr::Lambda(_) => {
+            format!("({})", format_expr(e))
+        }
+        _ => format_expr(e),
+    }
+}
+
+fn write_block(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for s in stmts {
+        write_stmt(out, s, depth);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match s {
+        Stmt::Import(name) => {
+            let _ = writeln!(out, "{pad}import {name}");
+        }
+        Stmt::FuncDef(def) => {
+            let _ = writeln!(out, "{pad}def {}({}) {{", def.name, def.params.join(", "));
+            write_block(out, &def.body, depth + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        // statements ending in an expression get a ';' so a following
+        // statement that begins with '[' or '(' cannot merge into them
+        // (the grammar is newline-insensitive)
+        Stmt::Assign(Target::Var(name), e) => {
+            let _ = writeln!(out, "{pad}{name} = {};", format_expr(e));
+        }
+        Stmt::Assign(Target::Index(obj, idx), e) => {
+            let _ = writeln!(
+                out,
+                "{pad}{}[{}] = {};",
+                format_postfix_base(obj),
+                format_expr(idx),
+                format_expr(e)
+            );
+        }
+        Stmt::Global(names) => {
+            let _ = writeln!(out, "{pad}global {}", names.join(", "));
+        }
+        Stmt::If(arms, els) => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                let kw = if i == 0 { "if" } else { "elif" };
+                let _ = writeln!(out, "{pad}{kw} {} {{", format_expr(cond));
+                write_block(out, body, depth + 1);
+                let _ = write!(out, "{pad}}}");
+                if i + 1 < arms.len() || els.is_some() {
+                    let _ = write!(out, " ");
+                } else {
+                    let _ = writeln!(out);
+                }
+            }
+            if let Some(body) = els {
+                let _ = writeln!(out, "else {{");
+                write_block(out, body, depth + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While(cond, body) => {
+            let _ = writeln!(out, "{pad}while {} {{", format_expr(cond));
+            write_block(out, body, depth + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::For(var, iter, body) => {
+            let _ = writeln!(out, "{pad}for {var} in {} {{", format_expr(iter));
+            write_block(out, body, depth + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "{pad}return {};", format_expr(e));
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        Stmt::Break => {
+            let _ = writeln!(out, "{pad}break");
+        }
+        Stmt::Continue => {
+            let _ = writeln!(out, "{pad}continue");
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{pad}{};", format_expr(e));
+        }
+    }
+}
+
+/// Canonical source form of a whole program.
+pub fn format_program(prog: &Program) -> String {
+    let mut out = String::new();
+    write_block(&mut out, prog, 0);
+    out
+}
+
+/// Canonical source form of one function definition.
+pub fn format_funcdef(def: &FuncDef) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, &Stmt::FuncDef(std::rc::Rc::new(def.clone())), 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODULE: &str = r#"
+        import nn
+        version = 3
+
+        def context_setup(path) {
+            global model
+            model = nn.load_model(path)
+        }
+
+        def infer(img) {
+            import mathx
+            return nn.forward(model, img)
+        }
+
+        def unrelated() { return 0 }
+    "#;
+
+    #[test]
+    fn extract_source_finds_named_function() {
+        let src = extract_source(MODULE, "infer").unwrap();
+        assert!(src.starts_with("def infer(img) {"));
+        assert!(src.contains("nn.forward(model, img)"));
+        // extracted source must re-parse
+        let prog = crate::parse(&src).unwrap();
+        assert_eq!(prog.len(), 1);
+    }
+
+    #[test]
+    fn extract_source_missing_function_is_none() {
+        assert!(extract_source(MODULE, "nope").is_none());
+        assert!(extract_source("not ] valid source", "f").is_none());
+    }
+
+    #[test]
+    fn extracted_source_executes_identically() {
+        let src = extract_source(MODULE, "unrelated").unwrap();
+        let mut interp = crate::interp::Interp::new();
+        interp.exec_source(&src).unwrap();
+        assert_eq!(
+            interp.call_global("unrelated", &[]).unwrap(),
+            crate::Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn scan_imports_finds_nested() {
+        let prog = crate::parse(MODULE).unwrap();
+        let imports = scan_imports(&prog);
+        assert_eq!(imports, vec!["mathx".to_string(), "nn".to_string()]);
+    }
+
+    #[test]
+    fn scan_function_imports_only_that_function() {
+        let prog = crate::parse(MODULE).unwrap();
+        let infer = prog
+            .iter()
+            .find_map(|s| match s {
+                Stmt::FuncDef(d) if d.name == "infer" => Some(d.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(scan_function_imports(&infer), vec!["mathx".to_string()]);
+    }
+
+    #[test]
+    fn scan_imports_in_lambdas() {
+        let prog =
+            crate::parse("g = fn (x) { import dep\nreturn x }").unwrap();
+        assert_eq!(scan_imports(&prog), vec!["dep".to_string()]);
+    }
+
+    #[test]
+    fn pretty_print_roundtrips_to_same_ast() {
+        let src = r#"
+            import nn
+            def f(a, b) {
+                global g
+                xs = [1, 2.5, "s", none, true]
+                d = {"k": [a]}
+                xs[0] = a + b * 2
+                d["j"] = -a
+                if a > 0 and b < 3 { return xs } elif not a { return d } else { a = 0 }
+                for i in range(10) { if i == 2 { continue } else { break } }
+                while a != b { a += 1 }
+                h = fn (z) { return z }
+                return h(nn.forward(a, b)[0].shape)
+            }
+        "#;
+        let prog1 = crate::parse(src).unwrap();
+        let printed = format_program(&prog1);
+        let prog2 = crate::parse(&printed).unwrap();
+        assert_eq!(prog1, prog2, "printed:\n{printed}");
+        // idempotent: printing again yields identical text
+        assert_eq!(format_program(&prog2), printed);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let prog1 = crate::parse(r#"s = "a\nb\t\"c\"\\d""#).unwrap();
+        let printed = format_program(&prog1);
+        let prog2 = crate::parse(&printed).unwrap();
+        assert_eq!(prog1, prog2);
+    }
+
+    #[test]
+    fn float_literals_reparse_as_floats() {
+        let prog1 = crate::parse("x = 2.0").unwrap();
+        let printed = format_program(&prog1);
+        let prog2 = crate::parse(&printed).unwrap();
+        assert_eq!(prog1, prog2);
+    }
+}

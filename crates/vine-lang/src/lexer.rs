@@ -1,0 +1,452 @@
+//! Tokenizer for vinescript.
+
+use vine_core::{Result, VineError};
+
+/// A lexical token with its source line (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // literals
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    // keywords
+    Def,
+    Fn,
+    Return,
+    If,
+    Elif,
+    Else,
+    While,
+    For,
+    In,
+    Break,
+    Continue,
+    Global,
+    Import,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    None,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Dot,
+    Semi,
+    // operators
+    Assign,   // =
+    Plus,     // +
+    Minus,    // -
+    Star,     // *
+    Slash,    // /
+    Percent,  // %
+    Eq,       // ==
+    Ne,       // !=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    PlusEq,   // +=
+    MinusEq,  // -=
+    Eof,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "def" => Tok::Def,
+        "fn" => Tok::Fn,
+        "return" => Tok::Return,
+        "if" => Tok::If,
+        "elif" => Tok::Elif,
+        "else" => Tok::Else,
+        "while" => Tok::While,
+        "for" => Tok::For,
+        "in" => Tok::In,
+        "break" => Tok::Break,
+        "continue" => Tok::Continue,
+        "global" => Tok::Global,
+        "import" => Tok::Import,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "not" => Tok::Not,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "none" => Tok::None,
+        _ => return Option::None,
+    })
+}
+
+fn err(line: u32, msg: impl std::fmt::Display) -> VineError {
+    VineError::Lang(format!("line {line}: {msg}"))
+}
+
+/// Tokenize `src`. Comments run from `#` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.push(Token { kind: $kind, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                push!(Tok::Colon);
+                i += 1;
+            }
+            '.' => {
+                push!(Tok::Dot);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::PlusEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Plus);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::MinusEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Minus);
+                    i += 1;
+                }
+            }
+            '*' => {
+                push!(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            '%' => {
+                push!(Tok::Percent);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Eq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(err(line, "unexpected '!'"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err(start_line, "unterminated string"));
+                    }
+                    let ch = bytes[i] as char;
+                    if ch == quote {
+                        i += 1;
+                        break;
+                    }
+                    if ch == '\n' {
+                        return Err(err(start_line, "unterminated string"));
+                    }
+                    if ch == '\\' {
+                        i += 1;
+                        let esc = *bytes
+                            .get(i)
+                            .ok_or_else(|| err(start_line, "unterminated escape"))?
+                            as char;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '\\' => '\\',
+                            '\'' => '\'',
+                            '"' => '"',
+                            '0' => '\0',
+                            other => return Err(err(line, format!("bad escape '\\{other}'"))),
+                        });
+                        i += 1;
+                    } else {
+                        s.push(ch);
+                        i += 1;
+                    }
+                }
+                push!(Tok::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                // a '.' starts a fraction only if followed by a digit, so
+                // method-style `x.abs` on ints stays unambiguous
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("bad float literal {text}")))?;
+                    push!(Tok::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("integer literal out of range: {text}")))?;
+                    push!(Tok::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match keyword(word) {
+                    Some(k) => push!(k),
+                    Option::None => push!(Tok::Ident(word.to_string())),
+                }
+            }
+            other => return Err(err(line, format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_def() {
+        let toks = kinds("def f(x) { return x + 1 }");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Def,
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::Return,
+                Tok::Ident("x".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 2E-2 10.25"),
+            vec![
+                Tok::Int(1),
+                Tok::Float(2.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.02),
+                Tok::Float(10.25),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_and_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb" 'c\'d'"#),
+            vec![Tok::Str("a\nb".into()), Tok::Str("c'd".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_lines() {
+        let toks = lex("x = 1 # comment\ny = 2").unwrap();
+        assert_eq!(toks[0].line, 1);
+        let y = toks.iter().find(|t| t.kind == Tok::Ident("y".into())).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn lex_comparison_operators() {
+        assert_eq!(
+            kinds("== != <= >= < > = += -="),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Assign,
+                Tok::PlusEq,
+                Tok::MinusEq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_keywords_vs_idents() {
+        assert_eq!(
+            kinds("for forx in int"),
+            vec![
+                Tok::For,
+                Tok::Ident("forx".into()),
+                Tok::In,
+                Tok::Ident("int".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn lex_bad_char_errors() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn int_dot_method_not_float() {
+        // `3.x` must lex as Int Dot Ident, not a float
+        assert_eq!(
+            kinds("3.x"),
+            vec![Tok::Int(3), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn integer_overflow_is_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Module registry: the interpreter's view of "software dependencies".
+//!
+//! `import foo` resolves against a [`ModuleRegistry`]. A module is either
+//! *native* (Rust functions exposed to scripts — the analogue of compiled
+//! packages like NumPy) or *source* (vinescript text compiled on first
+//! import — the analogue of pure-Python packages). What a worker's registry
+//! contains is decided by the environment the discover mechanism packaged
+//! for it (`vine-env`): importing a module that the environment didn't
+//! install fails, exactly like a missing package on a remote node.
+
+use crate::value::{ModuleObj, NativeFunc, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+use vine_core::{Result, VineError};
+
+/// Builders are `Send + Sync` so a registry can be handed to worker and
+/// library threads; the `Rc`-based values they *produce* stay thread-local
+/// to the interpreter that imports them.
+type NativeBuilder = Arc<dyn Fn() -> Vec<(String, Rc<NativeFunc>)> + Send + Sync>;
+
+/// Registry of importable modules.
+#[derive(Default, Clone)]
+pub struct ModuleRegistry {
+    native: BTreeMap<String, NativeBuilder>,
+    source: BTreeMap<String, String>,
+}
+
+impl ModuleRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a native module. The builder runs once per interpreter on
+    /// first import.
+    pub fn register_native<F>(&mut self, name: impl Into<String>, builder: F)
+    where
+        F: Fn() -> Vec<(String, Rc<NativeFunc>)> + Send + Sync + 'static,
+    {
+        self.native.insert(name.into(), Arc::new(builder));
+    }
+
+    /// Register a module defined by vinescript source text.
+    pub fn register_source(&mut self, name: impl Into<String>, src: impl Into<String>) {
+        self.source.insert(name.into(), src.into());
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.native.contains_key(name) || self.source.contains_key(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.native.keys().chain(self.source.keys()).map(|s| s.as_str())
+    }
+
+    /// Source text of a source module, if registered that way (used by the
+    /// discover mechanism to extract function code).
+    pub fn source_of(&self, name: &str) -> Option<&str> {
+        self.source.get(name).map(|s| s.as_str())
+    }
+
+    pub(crate) fn build_native(&self, name: &str) -> Option<Value> {
+        let builder = self.native.get(name)?;
+        let members: BTreeMap<String, Value> = builder()
+            .into_iter()
+            .map(|(n, f)| (n, Value::Native(f)))
+            .collect();
+        Some(Value::Module(Rc::new(ModuleObj {
+            name: name.to_string(),
+            members: RefCell::new(members),
+        })))
+    }
+
+    pub(crate) fn source_module(&self, name: &str) -> Option<&str> {
+        self.source.get(name).map(|s| s.as_str())
+    }
+
+    pub fn missing(&self, name: &str) -> VineError {
+        VineError::Dependency(format!(
+            "module '{name}' is not installed in this environment"
+        ))
+    }
+}
+
+/// Convenience for building one native function.
+pub fn native<F>(name: &str, f: F) -> (String, Rc<NativeFunc>)
+where
+    F: Fn(&[Value]) -> Result<Value> + 'static,
+{
+    (
+        name.to_string(),
+        Rc::new(NativeFunc {
+            name: name.to_string(),
+            f: Box::new(f),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tracks_both_kinds() {
+        let mut reg = ModuleRegistry::new();
+        reg.register_native("nn", || vec![native("zero", |_| Ok(Value::Int(0)))]);
+        reg.register_source("helpers", "def id(x) { return x }");
+        assert!(reg.contains("nn"));
+        assert!(reg.contains("helpers"));
+        assert!(!reg.contains("missing"));
+        assert_eq!(reg.source_of("helpers").unwrap(), "def id(x) { return x }");
+        assert!(reg.source_of("nn").is_none());
+        let names: Vec<&str> = reg.names().collect();
+        assert_eq!(names, vec!["nn", "helpers"]);
+    }
+
+    #[test]
+    fn native_module_builds_members() {
+        let mut reg = ModuleRegistry::new();
+        reg.register_native("m", || vec![native("f", |_| Ok(Value::Int(42)))]);
+        let module = reg.build_native("m").unwrap();
+        match module {
+            Value::Module(obj) => {
+                assert_eq!(obj.name, "m");
+                assert!(obj.members.borrow().contains_key("f"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

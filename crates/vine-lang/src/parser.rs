@@ -1,0 +1,579 @@
+//! Recursive-descent parser for vinescript.
+
+use crate::ast::{BinOp, Expr, FuncDef, Program, Stmt, Target, UnOp};
+use crate::lexer::{Tok, Token};
+use std::rc::Rc;
+use vine_core::{Result, VineError};
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+fn perr(line: u32, msg: impl std::fmt::Display) -> VineError {
+    VineError::Lang(format!("parse error at line {line}: {msg}"))
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<()> {
+        if self.peek() == want {
+            self.advance();
+            Ok(())
+        } else {
+            Err(perr(
+                self.line(),
+                format!("expected {:?}, found {:?}", want, self.peek()),
+            ))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(perr(self.line(), format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.eat(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(perr(self.line(), "unexpected end of input in block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.eat(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        // optional statement separators
+        while self.peek() == &Tok::Semi {
+            self.advance();
+        }
+        let line = self.line();
+        let stmt = match self.peek().clone() {
+            Tok::Import => {
+                self.advance();
+                let name = self.eat_ident()?;
+                Stmt::Import(name)
+            }
+            Tok::Def => {
+                self.advance();
+                let name = self.eat_ident()?;
+                let params = self.param_list()?;
+                let body = self.block()?;
+                Stmt::FuncDef(Rc::new(FuncDef { name, params, body }))
+            }
+            Tok::Global => {
+                self.advance();
+                let mut names = vec![self.eat_ident()?];
+                while self.peek() == &Tok::Comma {
+                    self.advance();
+                    names.push(self.eat_ident()?);
+                }
+                Stmt::Global(names)
+            }
+            Tok::Return => {
+                self.advance();
+                // `return` with nothing before a block/statement boundary
+                let value = if matches!(
+                    self.peek(),
+                    Tok::RBrace | Tok::Eof | Tok::Semi | Tok::Def | Tok::If | Tok::While | Tok::For
+                ) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                Stmt::Return(value)
+            }
+            Tok::Break => {
+                self.advance();
+                Stmt::Break
+            }
+            Tok::Continue => {
+                self.advance();
+                Stmt::Continue
+            }
+            Tok::If => {
+                self.advance();
+                let mut arms = Vec::new();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                arms.push((cond, body));
+                let mut els = None;
+                loop {
+                    match self.peek() {
+                        Tok::Elif => {
+                            self.advance();
+                            let c = self.expr()?;
+                            let b = self.block()?;
+                            arms.push((c, b));
+                        }
+                        Tok::Else => {
+                            self.advance();
+                            els = Some(self.block()?);
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                Stmt::If(arms, els)
+            }
+            Tok::While => {
+                self.advance();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Stmt::While(cond, body)
+            }
+            Tok::For => {
+                self.advance();
+                let var = self.eat_ident()?;
+                self.eat(&Tok::In)?;
+                let iter = self.expr()?;
+                let body = self.block()?;
+                Stmt::For(var, iter, body)
+            }
+            _ => {
+                // expression, assignment, or augmented assignment
+                let e = self.expr()?;
+                match self.peek() {
+                    Tok::Assign => {
+                        self.advance();
+                        let rhs = self.expr()?;
+                        Stmt::Assign(Self::to_target(e, line)?, rhs)
+                    }
+                    Tok::PlusEq | Tok::MinusEq => {
+                        let op = if self.peek() == &Tok::PlusEq {
+                            BinOp::Add
+                        } else {
+                            BinOp::Sub
+                        };
+                        self.advance();
+                        let rhs = self.expr()?;
+                        let target = Self::to_target(e.clone(), line)?;
+                        Stmt::Assign(target, Expr::Binary(op, Box::new(e), Box::new(rhs)))
+                    }
+                    _ => Stmt::Expr(e),
+                }
+            }
+        };
+        while self.peek() == &Tok::Semi {
+            self.advance();
+        }
+        Ok(stmt)
+    }
+
+    fn to_target(e: Expr, line: u32) -> Result<Target> {
+        match e {
+            Expr::Var(name) => Ok(Target::Var(name)),
+            Expr::Index(obj, idx) => Ok(Target::Index(*obj, *idx)),
+            other => Err(perr(line, format!("invalid assignment target: {other:?}"))),
+        }
+    }
+
+    fn param_list(&mut self) -> Result<Vec<String>> {
+        self.eat(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            params.push(self.eat_ident()?);
+            while self.peek() == &Tok::Comma {
+                self.advance();
+                params.push(self.eat_ident()?);
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        Ok(params)
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::Or {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.peek() == &Tok::And {
+            self.advance();
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.peek() == &Tok::Not {
+            self.advance();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.additive()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.peek() == &Tok::Minus {
+            self.advance();
+            let inner = self.unary()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::LParen => {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        args.push(self.expr()?);
+                        while self.peek() == &Tok::Comma {
+                            self.advance();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.eat(&Tok::RParen)?;
+                    e = Expr::Call(Box::new(e), args);
+                }
+                Tok::LBracket => {
+                    self.advance();
+                    let idx = self.expr()?;
+                    self.eat(&Tok::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                Tok::Dot => {
+                    self.advance();
+                    let attr = self.eat_ident()?;
+                    e = Expr::Attr(Box::new(e), attr);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let line = self.line();
+        let e = match self.advance() {
+            Tok::Int(v) => Expr::Int(v),
+            Tok::Float(v) => Expr::Float(v),
+            Tok::Str(s) => Expr::Str(s),
+            Tok::True => Expr::Bool(true),
+            Tok::False => Expr::Bool(false),
+            Tok::None => Expr::None,
+            Tok::Ident(name) => Expr::Var(name),
+            Tok::LParen => {
+                let inner = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                inner
+            }
+            Tok::LBracket => {
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    items.push(self.expr()?);
+                    while self.peek() == &Tok::Comma {
+                        self.advance();
+                        if self.peek() == &Tok::RBracket {
+                            break; // trailing comma
+                        }
+                        items.push(self.expr()?);
+                    }
+                }
+                self.eat(&Tok::RBracket)?;
+                Expr::List(items)
+            }
+            Tok::LBrace => {
+                let mut pairs = Vec::new();
+                if self.peek() != &Tok::RBrace {
+                    loop {
+                        let k = self.expr()?;
+                        self.eat(&Tok::Colon)?;
+                        let v = self.expr()?;
+                        pairs.push((k, v));
+                        if self.peek() == &Tok::Comma {
+                            self.advance();
+                            if self.peek() == &Tok::RBrace {
+                                break;
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(&Tok::RBrace)?;
+                Expr::Dict(pairs)
+            }
+            Tok::Fn => {
+                let params = self.param_list()?;
+                let body = self.block()?;
+                Expr::Lambda(Rc::new(FuncDef {
+                    name: String::new(),
+                    params,
+                    body,
+                }))
+            }
+            other => return Err(perr(line, format!("unexpected token {other:?}"))),
+        };
+        Ok(e)
+    }
+}
+
+/// Parse a token stream into a program.
+pub fn parse_program(toks: &[Token]) -> Result<Program> {
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while p.peek() != &Tok::Eof {
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Program {
+        parse_program(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_function_def() {
+        let prog = parse("def add(a, b) { return a + b }");
+        assert_eq!(prog.len(), 1);
+        match &prog[0] {
+            Stmt::FuncDef(f) => {
+                assert_eq!(f.name, "add");
+                assert_eq!(f.params, vec!["a", "b"]);
+                assert_eq!(f.body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let prog = parse("x = 1 + 2 * 3");
+        match &prog[0] {
+            Stmt::Assign(Target::Var(x), Expr::Binary(BinOp::Add, lhs, rhs)) => {
+                assert_eq!(x, "x");
+                assert_eq!(**lhs, Expr::Int(1));
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_logical_precedence() {
+        // a or b and not c == (a or (b and (not c)))
+        let prog = parse("x = a or b and not c");
+        match &prog[0] {
+            Stmt::Assign(_, Expr::Binary(BinOp::Or, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_if_elif_else() {
+        let prog = parse("if a { x = 1 } elif b { x = 2 } else { x = 3 }");
+        match &prog[0] {
+            Stmt::If(arms, els) => {
+                assert_eq!(arms.len(), 2);
+                assert!(els.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_for_and_while() {
+        let prog = parse("for i in range(10) { s += i }\nwhile s > 0 { s -= 1 }");
+        assert!(matches!(prog[0], Stmt::For(_, _, _)));
+        assert!(matches!(prog[1], Stmt::While(_, _)));
+    }
+
+    #[test]
+    fn parse_augmented_assign_desugars() {
+        let prog = parse("x += 2");
+        match &prog[0] {
+            Stmt::Assign(Target::Var(x), Expr::Binary(BinOp::Add, _, _)) => assert_eq!(x, "x"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_index_assignment() {
+        let prog = parse("xs[0] = 5");
+        assert!(matches!(&prog[0], Stmt::Assign(Target::Index(_, _), _)));
+    }
+
+    #[test]
+    fn parse_attr_call_chain() {
+        let prog = parse("y = nn.infer(model, img)[0]");
+        match &prog[0] {
+            Stmt::Assign(_, Expr::Index(call, _)) => {
+                assert!(matches!(**call, Expr::Call(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_lambda() {
+        let prog = parse("f = fn (x) { return x * 2 }");
+        match &prog[0] {
+            Stmt::Assign(_, Expr::Lambda(f)) => {
+                assert!(f.is_lambda());
+                assert_eq!(f.params, vec!["x"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_dict_and_list_literals() {
+        let prog = parse(r#"d = {"a": 1, "b": [1, 2, 3,],}"#);
+        match &prog[0] {
+            Stmt::Assign(_, Expr::Dict(pairs)) => {
+                assert_eq!(pairs.len(), 2);
+                assert!(matches!(pairs[1].1, Expr::List(ref xs) if xs.len() == 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_global_decl() {
+        let prog = parse("def setup() { global model, cache\n model = 1 }");
+        match &prog[0] {
+            Stmt::FuncDef(f) => {
+                assert_eq!(f.body[0], Stmt::Global(vec!["model".into(), "cache".into()]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_return_without_value() {
+        let prog = parse("def f() { return }");
+        match &prog[0] {
+            Stmt::FuncDef(f) => assert_eq!(f.body[0], Stmt::Return(None)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        let bad = ["def f( {", "x = ", "if { }", "1 = 2", "def f() { return x", "fn x"];
+        for src in bad {
+            let toks = lex(src);
+            if let Ok(toks) = toks {
+                assert!(parse_program(&toks).is_err(), "should fail: {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_unary_minus_binds_tighter_than_mul() {
+        // -x * y == (-x) * y
+        let prog = parse("z = -x * y");
+        match &prog[0] {
+            Stmt::Assign(_, Expr::Binary(BinOp::Mul, lhs, _)) => {
+                assert!(matches!(**lhs, Expr::Unary(UnOp::Neg, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_import() {
+        let prog = parse("import nn\nimport mathx");
+        assert_eq!(prog[0], Stmt::Import("nn".into()));
+        assert_eq!(prog[1], Stmt::Import("mathx".into()));
+    }
+}

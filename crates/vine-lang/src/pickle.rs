@@ -1,0 +1,880 @@
+//! "vinepickle": binary serialization of values and function code objects.
+//!
+//! The cloudpickle analogue (paper §3.2): when a function has no
+//! recoverable source form — lambdas, `exec`-generated functions, functions
+//! received through layers of software — the discover mechanism serializes
+//! its *code object* (the AST) to bytes, ships the bytes, and the worker
+//! reconstructs the function there. Arguments and results travel the same
+//! way (§3.4: the library "serializes the result into a result file in the
+//! invocation's sandbox").
+//!
+//! The format is a tagged byte stream with a 4-byte magic header `VPK1`.
+//! All integers are little-endian.
+
+use crate::ast::{BinOp, Expr, FuncDef, Stmt, Target, UnOp};
+use crate::value::{Function, Tensor, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use vine_core::{Result, VineError};
+
+const MAGIC: &[u8; 4] = b"VPK1";
+
+// ---------- writer ----------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer {
+            buf: MAGIC.to_vec(),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+// ---------- reader ----------
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+fn derr(msg: impl std::fmt::Display) -> VineError {
+    VineError::Serialization(format!("vinepickle: {msg}"))
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Result<Reader<'a>> {
+        if data.len() < 4 || &data[..4] != MAGIC {
+            return Err(derr("bad magic header"));
+        }
+        Ok(Reader { data, pos: 4 })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(derr("truncated input"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| derr("invalid utf-8 in string"))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+// ---------- value encoding ----------
+
+mod tag {
+    pub const NONE: u8 = 0;
+    pub const BOOL: u8 = 1;
+    pub const INT: u8 = 2;
+    pub const FLOAT: u8 = 3;
+    pub const STR: u8 = 4;
+    pub const BYTES: u8 = 5;
+    pub const LIST: u8 = 6;
+    pub const DICT: u8 = 7;
+    pub const TENSOR: u8 = 8;
+    pub const FUNC: u8 = 9;
+}
+
+fn write_value(w: &mut Writer, v: &Value) -> Result<()> {
+    match v {
+        Value::None => w.u8(tag::NONE),
+        Value::Bool(b) => {
+            w.u8(tag::BOOL);
+            w.u8(*b as u8);
+        }
+        Value::Int(x) => {
+            w.u8(tag::INT);
+            w.i64(*x);
+        }
+        Value::Float(x) => {
+            w.u8(tag::FLOAT);
+            w.f64(*x);
+        }
+        Value::Str(s) => {
+            w.u8(tag::STR);
+            w.str(s);
+        }
+        Value::Bytes(b) => {
+            w.u8(tag::BYTES);
+            w.bytes(b);
+        }
+        Value::List(items) => {
+            w.u8(tag::LIST);
+            let items = items.borrow();
+            w.u32(items.len() as u32);
+            for item in items.iter() {
+                write_value(w, item)?;
+            }
+        }
+        Value::Dict(d) => {
+            w.u8(tag::DICT);
+            let d = d.borrow();
+            w.u32(d.len() as u32);
+            for (k, val) in d.iter() {
+                w.str(k);
+                write_value(w, val)?;
+            }
+        }
+        Value::Tensor(t) => {
+            w.u8(tag::TENSOR);
+            w.u32(t.shape.len() as u32);
+            for d in &t.shape {
+                w.u32(*d as u32);
+            }
+            for x in t.data.iter() {
+                w.f64(*x);
+            }
+        }
+        Value::Func(f) => {
+            w.u8(tag::FUNC);
+            write_funcdef(w, &f.def);
+        }
+        Value::Native(n) => {
+            return Err(VineError::Serialization(format!(
+                "cannot serialize native function '{}' (ship the module instead)",
+                n.name
+            )))
+        }
+        Value::Module(m) => {
+            return Err(VineError::Serialization(format!(
+                "cannot serialize module '{}' (declare it as a dependency instead)",
+                m.name
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn read_value(r: &mut Reader, globals: &Rc<RefCell<BTreeMap<String, Value>>>) -> Result<Value> {
+    let t = r.u8()?;
+    Ok(match t {
+        tag::NONE => Value::None,
+        tag::BOOL => Value::Bool(r.u8()? != 0),
+        tag::INT => Value::Int(r.i64()?),
+        tag::FLOAT => Value::Float(r.f64()?),
+        tag::STR => Value::str(r.str()?),
+        tag::BYTES => Value::Bytes(Rc::new(r.bytes()?)),
+        tag::LIST => {
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                items.push(read_value(r, globals)?);
+            }
+            Value::list(items)
+        }
+        tag::DICT => {
+            let n = r.u32()? as usize;
+            let mut d = BTreeMap::new();
+            for _ in 0..n {
+                let k = r.str()?;
+                let v = read_value(r, globals)?;
+                d.insert(k, v);
+            }
+            Value::Dict(Rc::new(RefCell::new(d)))
+        }
+        tag::TENSOR => {
+            let ndim = r.u32()? as usize;
+            if ndim > 64 {
+                return Err(derr("tensor rank too large"));
+            }
+            let mut shape = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                shape.push(r.u32()? as usize);
+            }
+            let n: usize = shape.iter().product();
+            // guard against bogus lengths before allocating
+            if r.data.len() - r.pos < n * 8 {
+                return Err(derr("truncated tensor data"));
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(r.f64()?);
+            }
+            Value::Tensor(Rc::new(Tensor { shape, data: Rc::new(data) }))
+        }
+        tag::FUNC => {
+            let def = read_funcdef(r)?;
+            Value::Func(Rc::new(Function {
+                def: Rc::new(def),
+                globals: Rc::clone(globals),
+            }))
+        }
+        other => return Err(derr(format!("unknown value tag {other}"))),
+    })
+}
+
+// ---------- AST encoding ----------
+
+mod etag {
+    pub const NONE: u8 = 0;
+    pub const BOOL: u8 = 1;
+    pub const INT: u8 = 2;
+    pub const FLOAT: u8 = 3;
+    pub const STR: u8 = 4;
+    pub const LIST: u8 = 5;
+    pub const DICT: u8 = 6;
+    pub const VAR: u8 = 7;
+    pub const ATTR: u8 = 8;
+    pub const INDEX: u8 = 9;
+    pub const CALL: u8 = 10;
+    pub const UNARY: u8 = 11;
+    pub const BINARY: u8 = 12;
+    pub const LAMBDA: u8 = 13;
+}
+
+mod stag {
+    pub const IMPORT: u8 = 0;
+    pub const FUNCDEF: u8 = 1;
+    pub const ASSIGN_VAR: u8 = 2;
+    pub const ASSIGN_INDEX: u8 = 3;
+    pub const GLOBAL: u8 = 4;
+    pub const IF: u8 = 5;
+    pub const WHILE: u8 = 6;
+    pub const FOR: u8 = 7;
+    pub const RETURN: u8 = 8;
+    pub const RETURN_NONE: u8 = 9;
+    pub const BREAK: u8 = 10;
+    pub const CONTINUE: u8 = 11;
+    pub const EXPR: u8 = 12;
+}
+
+fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+    }
+}
+
+fn binop_from(code: u8) -> Result<BinOp> {
+    Ok(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        other => return Err(derr(format!("unknown binop {other}"))),
+    })
+}
+
+fn write_expr(w: &mut Writer, e: &Expr) {
+    match e {
+        Expr::None => w.u8(etag::NONE),
+        Expr::Bool(b) => {
+            w.u8(etag::BOOL);
+            w.u8(*b as u8);
+        }
+        Expr::Int(v) => {
+            w.u8(etag::INT);
+            w.i64(*v);
+        }
+        Expr::Float(v) => {
+            w.u8(etag::FLOAT);
+            w.f64(*v);
+        }
+        Expr::Str(s) => {
+            w.u8(etag::STR);
+            w.str(s);
+        }
+        Expr::List(items) => {
+            w.u8(etag::LIST);
+            w.u32(items.len() as u32);
+            for i in items {
+                write_expr(w, i);
+            }
+        }
+        Expr::Dict(pairs) => {
+            w.u8(etag::DICT);
+            w.u32(pairs.len() as u32);
+            for (k, v) in pairs {
+                write_expr(w, k);
+                write_expr(w, v);
+            }
+        }
+        Expr::Var(name) => {
+            w.u8(etag::VAR);
+            w.str(name);
+        }
+        Expr::Attr(obj, attr) => {
+            w.u8(etag::ATTR);
+            write_expr(w, obj);
+            w.str(attr);
+        }
+        Expr::Index(obj, idx) => {
+            w.u8(etag::INDEX);
+            write_expr(w, obj);
+            write_expr(w, idx);
+        }
+        Expr::Call(f, args) => {
+            w.u8(etag::CALL);
+            write_expr(w, f);
+            w.u32(args.len() as u32);
+            for a in args {
+                write_expr(w, a);
+            }
+        }
+        Expr::Unary(op, inner) => {
+            w.u8(etag::UNARY);
+            w.u8(matches!(op, UnOp::Not) as u8);
+            write_expr(w, inner);
+        }
+        Expr::Binary(op, l, r) => {
+            w.u8(etag::BINARY);
+            w.u8(binop_code(*op));
+            write_expr(w, l);
+            write_expr(w, r);
+        }
+        Expr::Lambda(def) => {
+            w.u8(etag::LAMBDA);
+            write_funcdef(w, def);
+        }
+    }
+}
+
+fn read_expr(r: &mut Reader) -> Result<Expr> {
+    let t = r.u8()?;
+    Ok(match t {
+        etag::NONE => Expr::None,
+        etag::BOOL => Expr::Bool(r.u8()? != 0),
+        etag::INT => Expr::Int(r.i64()?),
+        etag::FLOAT => Expr::Float(r.f64()?),
+        etag::STR => Expr::Str(r.str()?),
+        etag::LIST => {
+            let n = r.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                items.push(read_expr(r)?);
+            }
+            Expr::List(items)
+        }
+        etag::DICT => {
+            let n = r.u32()? as usize;
+            let mut pairs = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let k = read_expr(r)?;
+                let v = read_expr(r)?;
+                pairs.push((k, v));
+            }
+            Expr::Dict(pairs)
+        }
+        etag::VAR => Expr::Var(r.str()?),
+        etag::ATTR => {
+            let obj = read_expr(r)?;
+            let attr = r.str()?;
+            Expr::Attr(Box::new(obj), attr)
+        }
+        etag::INDEX => {
+            let obj = read_expr(r)?;
+            let idx = read_expr(r)?;
+            Expr::Index(Box::new(obj), Box::new(idx))
+        }
+        etag::CALL => {
+            let f = read_expr(r)?;
+            let n = r.u32()? as usize;
+            let mut args = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                args.push(read_expr(r)?);
+            }
+            Expr::Call(Box::new(f), args)
+        }
+        etag::UNARY => {
+            let op = if r.u8()? != 0 { UnOp::Not } else { UnOp::Neg };
+            Expr::Unary(op, Box::new(read_expr(r)?))
+        }
+        etag::BINARY => {
+            let op = binop_from(r.u8()?)?;
+            let l = read_expr(r)?;
+            let rhs = read_expr(r)?;
+            Expr::Binary(op, Box::new(l), Box::new(rhs))
+        }
+        etag::LAMBDA => Expr::Lambda(Rc::new(read_funcdef(r)?)),
+        other => return Err(derr(format!("unknown expr tag {other}"))),
+    })
+}
+
+fn write_stmts(w: &mut Writer, stmts: &[Stmt]) {
+    w.u32(stmts.len() as u32);
+    for s in stmts {
+        write_stmt(w, s);
+    }
+}
+
+fn read_stmts(r: &mut Reader) -> Result<Vec<Stmt>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(read_stmt(r)?);
+    }
+    Ok(out)
+}
+
+fn write_stmt(w: &mut Writer, s: &Stmt) {
+    match s {
+        Stmt::Import(name) => {
+            w.u8(stag::IMPORT);
+            w.str(name);
+        }
+        Stmt::FuncDef(def) => {
+            w.u8(stag::FUNCDEF);
+            write_funcdef(w, def);
+        }
+        Stmt::Assign(Target::Var(name), e) => {
+            w.u8(stag::ASSIGN_VAR);
+            w.str(name);
+            write_expr(w, e);
+        }
+        Stmt::Assign(Target::Index(obj, idx), e) => {
+            w.u8(stag::ASSIGN_INDEX);
+            write_expr(w, obj);
+            write_expr(w, idx);
+            write_expr(w, e);
+        }
+        Stmt::Global(names) => {
+            w.u8(stag::GLOBAL);
+            w.u32(names.len() as u32);
+            for n in names {
+                w.str(n);
+            }
+        }
+        Stmt::If(arms, els) => {
+            w.u8(stag::IF);
+            w.u32(arms.len() as u32);
+            for (cond, body) in arms {
+                write_expr(w, cond);
+                write_stmts(w, body);
+            }
+            match els {
+                Some(body) => {
+                    w.u8(1);
+                    write_stmts(w, body);
+                }
+                None => w.u8(0),
+            }
+        }
+        Stmt::While(cond, body) => {
+            w.u8(stag::WHILE);
+            write_expr(w, cond);
+            write_stmts(w, body);
+        }
+        Stmt::For(var, iter, body) => {
+            w.u8(stag::FOR);
+            w.str(var);
+            write_expr(w, iter);
+            write_stmts(w, body);
+        }
+        Stmt::Return(Some(e)) => {
+            w.u8(stag::RETURN);
+            write_expr(w, e);
+        }
+        Stmt::Return(None) => w.u8(stag::RETURN_NONE),
+        Stmt::Break => w.u8(stag::BREAK),
+        Stmt::Continue => w.u8(stag::CONTINUE),
+        Stmt::Expr(e) => {
+            w.u8(stag::EXPR);
+            write_expr(w, e);
+        }
+    }
+}
+
+fn read_stmt(r: &mut Reader) -> Result<Stmt> {
+    let t = r.u8()?;
+    Ok(match t {
+        stag::IMPORT => Stmt::Import(r.str()?),
+        stag::FUNCDEF => Stmt::FuncDef(Rc::new(read_funcdef(r)?)),
+        stag::ASSIGN_VAR => {
+            let name = r.str()?;
+            let e = read_expr(r)?;
+            Stmt::Assign(Target::Var(name), e)
+        }
+        stag::ASSIGN_INDEX => {
+            let obj = read_expr(r)?;
+            let idx = read_expr(r)?;
+            let e = read_expr(r)?;
+            Stmt::Assign(Target::Index(obj, idx), e)
+        }
+        stag::GLOBAL => {
+            let n = r.u32()? as usize;
+            let mut names = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                names.push(r.str()?);
+            }
+            Stmt::Global(names)
+        }
+        stag::IF => {
+            let n = r.u32()? as usize;
+            let mut arms = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let cond = read_expr(r)?;
+                let body = read_stmts(r)?;
+                arms.push((cond, body));
+            }
+            let els = if r.u8()? != 0 {
+                Some(read_stmts(r)?)
+            } else {
+                None
+            };
+            Stmt::If(arms, els)
+        }
+        stag::WHILE => {
+            let cond = read_expr(r)?;
+            let body = read_stmts(r)?;
+            Stmt::While(cond, body)
+        }
+        stag::FOR => {
+            let var = r.str()?;
+            let iter = read_expr(r)?;
+            let body = read_stmts(r)?;
+            Stmt::For(var, iter, body)
+        }
+        stag::RETURN => Stmt::Return(Some(read_expr(r)?)),
+        stag::RETURN_NONE => Stmt::Return(None),
+        stag::BREAK => Stmt::Break,
+        stag::CONTINUE => Stmt::Continue,
+        stag::EXPR => Stmt::Expr(read_expr(r)?),
+        other => return Err(derr(format!("unknown stmt tag {other}"))),
+    })
+}
+
+fn write_funcdef(w: &mut Writer, def: &FuncDef) {
+    w.str(&def.name);
+    w.u32(def.params.len() as u32);
+    for p in &def.params {
+        w.str(p);
+    }
+    write_stmts(w, &def.body);
+}
+
+fn read_funcdef(r: &mut Reader) -> Result<FuncDef> {
+    let name = r.str()?;
+    let n = r.u32()? as usize;
+    let mut params = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        params.push(r.str()?);
+    }
+    let body = read_stmts(r)?;
+    Ok(FuncDef { name, params, body })
+}
+
+// ---------- public API ----------
+
+/// Serialize a value (arguments, results, or whole function objects).
+pub fn serialize_value(v: &Value) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    write_value(&mut w, v)?;
+    Ok(w.buf)
+}
+
+/// Deserialize a value, binding any contained functions to `globals` (the
+/// namespace of the interpreter reconstructing them).
+pub fn deserialize_value(
+    data: &[u8],
+    globals: &Rc<RefCell<BTreeMap<String, Value>>>,
+) -> Result<Value> {
+    let mut r = Reader::new(data)?;
+    let v = read_value(&mut r, globals)?;
+    if !r.finished() {
+        return Err(derr("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+/// Serialize a bare function code object.
+pub fn serialize_funcdef(def: &FuncDef) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_funcdef(&mut w, def);
+    w.buf
+}
+
+/// Deserialize a bare function code object.
+pub fn deserialize_funcdef(data: &[u8]) -> Result<Rc<FuncDef>> {
+    let mut r = Reader::new(data)?;
+    let def = read_funcdef(&mut r)?;
+    if !r.finished() {
+        return Err(derr("trailing bytes after function"));
+    }
+    Ok(Rc::new(def))
+}
+
+/// Serialize an argument vector as one blob (what a `FunctionCall` ships).
+pub fn serialize_args(args: &[Value]) -> Result<Vec<u8>> {
+    serialize_value(&Value::list(args.to_vec()))
+}
+
+/// Deserialize an argument blob back into a vector.
+pub fn deserialize_args(
+    data: &[u8],
+    globals: &Rc<RefCell<BTreeMap<String, Value>>>,
+) -> Result<Vec<Value>> {
+    match deserialize_value(data, globals)? {
+        Value::List(items) => Ok(items.borrow().clone()),
+        other => Err(derr(format!(
+            "argument blob is {}, expected list",
+            other.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+
+    fn fresh_globals() -> Rc<RefCell<BTreeMap<String, Value>>> {
+        Rc::new(RefCell::new(BTreeMap::new()))
+    }
+
+    fn roundtrip(v: &Value) -> Value {
+        let blob = serialize_value(v).unwrap();
+        deserialize_value(&blob, &fresh_globals()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_primitives() {
+        for v in [
+            Value::None,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.15),
+            Value::Float(f64::NEG_INFINITY),
+            Value::str("hello \u{1F600} world"),
+            Value::Bytes(Rc::new(vec![0, 255, 128])),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_nested_containers() {
+        let v = Value::list(vec![
+            Value::Int(1),
+            Value::dict([
+                ("a".to_string(), Value::list(vec![Value::Float(2.5)])),
+                ("b".to_string(), Value::None),
+            ]),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn roundtrip_tensor() {
+        let t = Tensor::new(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let v = Value::tensor(t);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn roundtrip_function_and_execute() {
+        // define, serialize, reconstruct in a *different* interpreter, call
+        let mut a = Interp::new();
+        a.exec_source("def f(x) { return x * x + 1 }").unwrap();
+        let f = a.get_global("f").unwrap();
+        let blob = serialize_value(&f).unwrap();
+
+        let mut b = Interp::new();
+        let g = deserialize_value(&blob, &b.globals).unwrap();
+        assert_eq!(b.call_value(&g, &[Value::Int(6)]).unwrap(), Value::Int(37));
+    }
+
+    #[test]
+    fn reconstructed_function_uses_new_globals() {
+        // a shipped function must read the *worker's* globals (where context
+        // setup ran), not its origin's
+        let mut origin = Interp::new();
+        origin
+            .exec_source("model = 1\ndef infer(x) { return model + x }")
+            .unwrap();
+        let blob = serialize_value(&origin.get_global("infer").unwrap()).unwrap();
+
+        let mut worker = Interp::new();
+        worker.set_global("model", Value::Int(1000));
+        let f = deserialize_value(&blob, &worker.globals).unwrap();
+        assert_eq!(
+            worker.call_value(&f, &[Value::Int(1)]).unwrap(),
+            Value::Int(1001)
+        );
+    }
+
+    #[test]
+    fn roundtrip_lambda() {
+        let mut a = Interp::new();
+        a.exec_source("g = fn (x, y) { return x - y }").unwrap();
+        let blob = serialize_value(&a.get_global("g").unwrap()).unwrap();
+        let mut b = Interp::new();
+        let g = deserialize_value(&blob, &b.globals).unwrap();
+        assert_eq!(
+            b.call_value(&g, &[Value::Int(10), Value::Int(4)]).unwrap(),
+            Value::Int(6)
+        );
+    }
+
+    #[test]
+    fn roundtrip_function_with_all_statement_forms() {
+        let src = r#"
+            def kitchen_sink(n) {
+                import mathx
+                global acc
+                acc = 0
+                xs = [1, 2, 3]
+                xs[0] = {"k": none}
+                if n > 0 { acc += n } elif n < 0 { acc -= n } else { acc = 0 }
+                for i in range(n) {
+                    if i == 2 { continue }
+                    if i > 5 { break }
+                    acc += i
+                }
+                while false { }
+                h = fn (z) { return z }
+                return not (acc == 0) and acc >= -1 or acc <= 100
+            }
+        "#;
+        let prog = crate::parse(src).unwrap();
+        let def = match &prog[0] {
+            Stmt::FuncDef(d) => Rc::clone(d),
+            other => panic!("unexpected {other:?}"),
+        };
+        let blob = serialize_funcdef(&def);
+        let back = deserialize_funcdef(&blob).unwrap();
+        assert_eq!(*back, *def);
+    }
+
+    #[test]
+    fn modules_and_natives_refuse_serialization() {
+        let mut reg = crate::modules::ModuleRegistry::new();
+        reg.register_native("m", || {
+            vec![crate::modules::native("f", |_| Ok(Value::None))]
+        });
+        let mut interp = Interp::with_registry(reg);
+        interp.exec_source("import m\ng = m.f").unwrap();
+        let module = interp.get_global("m").unwrap();
+        let native = interp.get_global("g").unwrap();
+        assert!(serialize_value(&module).is_err());
+        assert!(serialize_value(&native).is_err());
+    }
+
+    #[test]
+    fn args_blob_roundtrip() {
+        let args = vec![Value::Int(1), Value::str("x"), Value::list(vec![])];
+        let blob = serialize_args(&args).unwrap();
+        let back = deserialize_args(&blob, &fresh_globals()).unwrap();
+        assert_eq!(back, args);
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_panicking() {
+        // bad magic
+        assert!(deserialize_value(b"XXXX", &fresh_globals()).is_err());
+        // empty
+        assert!(deserialize_value(b"", &fresh_globals()).is_err());
+        // truncations of a valid blob must all fail gracefully
+        let blob = serialize_value(&Value::list(vec![
+            Value::Int(5),
+            Value::str("hello"),
+            Value::tensor(Tensor::zeros(vec![4])),
+        ]))
+        .unwrap();
+        for cut in 0..blob.len() {
+            let _ = deserialize_value(&blob[..cut], &fresh_globals());
+        }
+        // flipping the value tag byte to garbage must error
+        let mut bad = blob.clone();
+        bad[4] = 200;
+        assert!(deserialize_value(&bad, &fresh_globals()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut blob = serialize_value(&Value::Int(1)).unwrap();
+        blob.push(0);
+        assert!(deserialize_value(&blob, &fresh_globals()).is_err());
+    }
+
+    #[test]
+    fn bogus_tensor_length_does_not_overallocate() {
+        // craft: magic + TENSOR tag + ndim=1 + dim=u32::MAX, no data
+        let mut blob = MAGIC.to_vec();
+        blob.push(tag::TENSOR);
+        blob.extend_from_slice(&1u32.to_le_bytes());
+        blob.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(deserialize_value(&blob, &fresh_globals()).is_err());
+    }
+}

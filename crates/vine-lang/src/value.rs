@@ -1,0 +1,415 @@
+//! Runtime values.
+//!
+//! Values are reference-counted and **not thread-safe** by design: a library
+//! process owns its interpreter and namespace outright, and anything that
+//! crosses a worker/library/manager boundary does so *serialized* — exactly
+//! as in the paper, where results are serialized to files in the
+//! invocation's sandbox (§3.4 step 4).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+use vine_core::{Result, VineError};
+
+use crate::ast::FuncDef;
+
+/// A dense row-major f64 tensor — the stand-in for NumPy arrays / model
+/// parameter blobs in the LNNI application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    pub shape: Vec<usize>,
+    pub data: Rc<Vec<f64>>,
+}
+
+impl Tensor {
+    pub fn new(shape: Vec<usize>, data: Vec<f64>) -> Result<Tensor> {
+        let expect: usize = shape.iter().product();
+        if expect != data.len() {
+            return Err(VineError::Lang(format!(
+                "tensor shape {:?} wants {} elements, got {}",
+                shape,
+                expect,
+                data.len()
+            )));
+        }
+        Ok(Tensor {
+            shape,
+            data: Rc::new(data),
+        })
+    }
+
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor {
+            shape,
+            data: Rc::new(vec![0.0; n]),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A user-defined function *object*: code plus a handle to the global
+/// namespace of the interpreter that defined it. Invocations of the same
+/// function share that namespace — this is the in-memory context the
+/// paper's L3 level retains and reuses.
+pub struct Function {
+    pub def: Rc<FuncDef>,
+    /// The defining interpreter's globals. Functions read module-level
+    /// state (e.g. a model registered by `context_setup`) through this.
+    pub globals: Rc<RefCell<BTreeMap<String, Value>>>,
+}
+
+impl fmt::Debug for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<function {}>", display_fn_name(&self.def))
+    }
+}
+
+fn display_fn_name(def: &FuncDef) -> &str {
+    if def.name.is_empty() {
+        "<lambda>"
+    } else {
+        &def.name
+    }
+}
+
+/// A native (Rust-implemented) function, the mechanism behind "software
+/// dependencies": imported modules expose these.
+pub struct NativeFunc {
+    pub name: String,
+    #[allow(clippy::type_complexity)]
+    pub f: Box<dyn Fn(&[Value]) -> Result<Value>>,
+}
+
+impl fmt::Debug for NativeFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<native {}>", self.name)
+    }
+}
+
+/// An imported module: a named bag of members.
+#[derive(Debug)]
+pub struct ModuleObj {
+    pub name: String,
+    pub members: RefCell<BTreeMap<String, Value>>,
+}
+
+/// Any vinescript value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    None,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Rc<str>),
+    Bytes(Rc<Vec<u8>>),
+    List(Rc<RefCell<Vec<Value>>>),
+    Dict(Rc<RefCell<BTreeMap<String, Value>>>),
+    Tensor(Rc<Tensor>),
+    Func(Rc<Function>),
+    Native(Rc<NativeFunc>),
+    Module(Rc<ModuleObj>),
+}
+
+impl Value {
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::from(s.into().into_boxed_str()))
+    }
+
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(RefCell::new(items)))
+    }
+
+    pub fn dict(pairs: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Dict(Rc::new(RefCell::new(pairs.into_iter().collect())))
+    }
+
+    pub fn tensor(t: Tensor) -> Value {
+        Value::Tensor(Rc::new(t))
+    }
+
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "none",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::List(_) => "list",
+            Value::Dict(_) => "dict",
+            Value::Tensor(_) => "tensor",
+            Value::Func(_) => "function",
+            Value::Native(_) => "native function",
+            Value::Module(_) => "module",
+        }
+    }
+
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bytes(b) => !b.is_empty(),
+            Value::List(l) => !l.borrow().is_empty(),
+            Value::Dict(d) => !d.borrow().is_empty(),
+            Value::Tensor(t) => !t.is_empty(),
+            Value::Func(_) | Value::Native(_) | Value::Module(_) => true,
+        }
+    }
+
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Bool(b) => Ok(*b as i64),
+            other => Err(VineError::Lang(format!(
+                "expected int, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            Value::Bool(b) => Ok(*b as i64 as f64),
+            other => Err(VineError::Lang(format!(
+                "expected float, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(VineError::Lang(format!(
+                "expected str, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    pub fn as_tensor(&self) -> Result<&Rc<Tensor>> {
+        match self {
+            Value::Tensor(t) => Ok(t),
+            other => Err(VineError::Lang(format!(
+                "expected tensor, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Structure-preserving deep copy. This is how the live runtime models
+    /// `fork`: the child library gets its own copy of the namespace
+    /// (copy-on-write in a real fork; a deep clone here) so mutations don't
+    /// leak back into the shared context (§2.1.4).
+    pub fn deep_clone(&self) -> Value {
+        match self {
+            Value::List(l) => {
+                Value::list(l.borrow().iter().map(Value::deep_clone).collect())
+            }
+            Value::Dict(d) => Value::Dict(Rc::new(RefCell::new(
+                d.borrow()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.deep_clone()))
+                    .collect(),
+            ))),
+            // tensors are immutable: sharing the Rc is semantically a copy
+            other => other.clone(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (None, None) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Int(a), Float(b)) | (Float(b), Int(a)) => *a as f64 == *b,
+            (Str(a), Str(b)) => a == b,
+            (Bytes(a), Bytes(b)) => a == b,
+            (List(a), List(b)) => *a.borrow() == *b.borrow(),
+            (Dict(a), Dict(b)) => *a.borrow() == *b.borrow(),
+            (Tensor(a), Tensor(b)) => a == b,
+            (Func(a), Func(b)) => Rc::ptr_eq(a, b),
+            (Native(a), Native(b)) => Rc::ptr_eq(a, b),
+            (Module(a), Module(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::None => write!(f, "none"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bytes(b) => write!(f, "<bytes len={}>", b.len()),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, it) in items.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Dict(d) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in d.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Tensor(t) => write!(f, "<tensor {:?}>", t.shape),
+            Value::Func(func) => write!(f, "{func:?}"),
+            Value::Native(n) => write!(f, "{n:?}"),
+            Value::Module(m) => write!(f, "<module {}>", m.name),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(3).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::list(vec![]).truthy());
+        assert!(Value::list(vec![Value::None]).truthy());
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+        assert_ne!(Value::Int(2), Value::str("2"));
+    }
+
+    #[test]
+    fn tensor_shape_validation() {
+        assert!(Tensor::new(vec![2, 3], vec![0.0; 6]).is_ok());
+        assert!(Tensor::new(vec![2, 3], vec![0.0; 5]).is_err());
+        let z = Tensor::zeros(vec![4, 4]);
+        assert_eq!(z.len(), 16);
+    }
+
+    #[test]
+    fn deep_clone_isolates_mutation() {
+        let original = Value::list(vec![Value::Int(1), Value::list(vec![Value::Int(2)])]);
+        let copy = original.deep_clone();
+        if let Value::List(items) = &original {
+            if let Value::List(inner) = &items.borrow()[1] {
+                inner.borrow_mut().push(Value::Int(99));
+            }
+        }
+        // the copy must not see the mutation
+        if let Value::List(items) = &copy {
+            if let Value::List(inner) = &items.borrow()[1] {
+                assert_eq!(inner.borrow().len(), 1);
+            } else {
+                panic!("expected inner list");
+            }
+        } else {
+            panic!("expected list");
+        }
+    }
+
+    #[test]
+    fn shallow_clone_shares_mutation() {
+        let original = Value::list(vec![Value::Int(1)]);
+        let alias = original.clone();
+        if let Value::List(items) = &original {
+            items.borrow_mut().push(Value::Int(2));
+        }
+        if let Value::List(items) = &alias {
+            assert_eq!(items.borrow().len(), 2);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(
+            Value::list(vec![Value::Int(1), Value::str("a")]).to_string(),
+            "[1, a]"
+        );
+        assert_eq!(
+            Value::dict([("k".to_string(), Value::Int(1))]).to_string(),
+            "{k: 1}"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Bool(true).as_int().unwrap(), 1);
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert!(Value::str("x").as_int().is_err());
+        assert_eq!(Value::from("hi").as_str().unwrap(), "hi");
+    }
+}

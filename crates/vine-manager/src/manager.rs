@@ -1,0 +1,878 @@
+//! The manager state machine.
+
+use crate::ring::HashRing;
+use std::collections::{BTreeMap, VecDeque};
+use vine_core::context::{FileRef, LibrarySpec};
+use vine_core::ids::{LibraryInstanceId, WorkerId};
+use vine_core::resources::Resources;
+use vine_core::task::{FunctionCall, TaskSpec, UnitId, WorkUnit};
+use vine_core::{Result, VineError};
+use vine_worker::WorkerState;
+
+/// Where a running unit lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    pub worker: WorkerId,
+    pub library: Option<LibraryInstanceId>,
+}
+
+/// A scheduling decision. Bookkeeping is applied by the manager the moment
+/// the decision is emitted; the substrate realizes it with time and I/O.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Stage `missing` files to `worker`, then boot a library instance and
+    /// run its context setup. The instance is `Starting` until the
+    /// substrate reports [`Manager::library_ready`].
+    InstallLibrary {
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+        spec: LibrarySpec,
+        missing: Vec<FileRef>,
+    },
+    /// Remove an empty library to reclaim resources for another library's
+    /// work (§3.5.2).
+    EvictLibrary {
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+        library_name: String,
+    },
+    /// Send an invocation to a ready library instance (§3.4 step 3).
+    DispatchCall {
+        worker: WorkerId,
+        library: LibraryInstanceId,
+        call: FunctionCall,
+    },
+    /// Send a stateless task to a worker, staging `missing` cacheable
+    /// inputs first.
+    DispatchTask {
+        worker: WorkerId,
+        task: TaskSpec,
+        missing: Vec<FileRef>,
+    },
+    /// A unit is unschedulable forever (e.g. unknown library).
+    Fail { unit: UnitId, error: String },
+}
+
+/// Per-library index of instances with free slots.
+type SlotIndex = BTreeMap<String, BTreeMap<(WorkerId, LibraryInstanceId), u32>>;
+
+/// The manager.
+pub struct Manager {
+    specs: BTreeMap<String, LibrarySpec>,
+    pub workers: BTreeMap<WorkerId, WorkerState>,
+    ring: HashRing,
+    queue_tasks: VecDeque<TaskSpec>,
+    queue_calls: BTreeMap<String, VecDeque<FunctionCall>>,
+    running: BTreeMap<UnitId, Placement>,
+    /// Ready instances with free slots, per library.
+    ready_slots: SlotIndex,
+    /// Slots promised per library: all slots of Starting instances plus
+    /// free slots of Ready ones. Controls when another instance is worth
+    /// installing.
+    pending_supply: BTreeMap<String, i64>,
+    instance_owner: BTreeMap<LibraryInstanceId, WorkerId>,
+    next_instance: u64,
+    /// Completed units (telemetry).
+    pub completed: u64,
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Manager {
+    pub fn new() -> Manager {
+        Manager {
+            specs: BTreeMap::new(),
+            workers: BTreeMap::new(),
+            ring: HashRing::new(),
+            queue_tasks: VecDeque::new(),
+            queue_calls: BTreeMap::new(),
+            running: BTreeMap::new(),
+            ready_slots: BTreeMap::new(),
+            pending_supply: BTreeMap::new(),
+            instance_owner: BTreeMap::new(),
+            next_instance: 0,
+            completed: 0,
+        }
+    }
+
+    /// Register a library template (`manager.install_library` in Fig 5).
+    pub fn register_library(&mut self, spec: LibrarySpec) {
+        self.specs.insert(spec.name.clone(), spec);
+    }
+
+    pub fn library_spec(&self, name: &str) -> Option<&LibrarySpec> {
+        self.specs.get(name)
+    }
+
+    // ---- membership ----
+
+    pub fn worker_joined(&mut self, id: WorkerId, resources: Resources) {
+        self.workers.insert(id, WorkerState::new(id, resources));
+        self.ring.add(id);
+    }
+
+    /// A worker died or disconnected. Its running units are requeued (at
+    /// the front — they have waited longest) and returned so the substrate
+    /// can cancel in-flight activity.
+    pub fn worker_left(&mut self, id: WorkerId) -> Vec<UnitId> {
+        self.ring.remove(id);
+        let Some(state) = self.workers.remove(&id) else {
+            return Vec::new();
+        };
+        // drop instance bookkeeping
+        for (iid, inst) in &state.libraries {
+            self.instance_owner.remove(iid);
+            self.ready_slots
+                .get_mut(&inst.spec.name)
+                .map(|m| m.remove(&(id, *iid)));
+            let supply = self.pending_supply.entry(inst.spec.name.clone()).or_insert(0);
+            *supply -= i64::from(inst.free_slots())
+                + if inst.state == vine_worker::LibState::Starting {
+                    0 // Starting instances counted all slots as free below
+                } else {
+                    0
+                };
+        }
+        // requeue its running units
+        let lost: Vec<UnitId> = self
+            .running
+            .iter()
+            .filter(|(_, p)| p.worker == id)
+            .map(|(u, _)| *u)
+            .collect();
+        for unit in &lost {
+            self.running.remove(unit);
+        }
+        lost
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    // ---- submission ----
+
+    pub fn submit(&mut self, unit: WorkUnit) {
+        match unit {
+            WorkUnit::Task(t) => self.queue_tasks.push_back(t),
+            WorkUnit::Call(c) => self
+                .queue_calls
+                .entry(c.library.clone())
+                .or_default()
+                .push_back(c),
+        }
+    }
+
+    /// Requeue a unit at the front (fault recovery).
+    pub fn requeue(&mut self, unit: WorkUnit) {
+        match unit {
+            WorkUnit::Task(t) => self.queue_tasks.push_front(t),
+            WorkUnit::Call(c) => self
+                .queue_calls
+                .entry(c.library.clone())
+                .or_default()
+                .push_front(c),
+        }
+    }
+
+    /// Units waiting + running (drives the paper's scale-dependent manager
+    /// bookkeeping cost).
+    pub fn pending(&self) -> usize {
+        self.queue_tasks.len()
+            + self.queue_calls.values().map(|q| q.len()).sum::<usize>()
+            + self.running.len()
+    }
+
+    pub fn queued(&self) -> usize {
+        self.queue_tasks.len() + self.queue_calls.values().map(|q| q.len()).sum::<usize>()
+    }
+
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.queued() == 0 && self.running.is_empty()
+    }
+
+    // ---- scheduling ----
+
+    /// Produce the next scheduling decision, applying its bookkeeping.
+    /// Returns `None` when nothing can progress until an event arrives.
+    pub fn next_decision(&mut self) -> Option<Decision> {
+        // 1. unknown-library calls fail fast
+        if let Some(d) = self.fail_unknown_library() {
+            return Some(d);
+        }
+        // 2. dispatch a call into an existing free slot
+        if let Some(d) = self.dispatch_call() {
+            return Some(d);
+        }
+        // 3. dispatch a stateless task
+        if let Some(d) = self.dispatch_task() {
+            return Some(d);
+        }
+        // 4. install more library instances where demand exceeds supply
+        if let Some(d) = self.install_library() {
+            return Some(d);
+        }
+        // 5. evict an empty library blocking another library's demand
+        self.evict_for_demand()
+    }
+
+    fn fail_unknown_library(&mut self) -> Option<Decision> {
+        let lib = self
+            .queue_calls
+            .iter()
+            .find(|(lib, q)| !q.is_empty() && !self.specs.contains_key(*lib))
+            .map(|(lib, _)| lib.clone())?;
+        let call = self.queue_calls.get_mut(&lib).unwrap().pop_front().unwrap();
+        Some(Decision::Fail {
+            unit: UnitId::Call(call.id),
+            error: format!("unknown library: {lib}"),
+        })
+    }
+
+    fn dispatch_call(&mut self) -> Option<Decision> {
+        // pick the first library (BTreeMap order: deterministic) with both
+        // queued calls and a free slot
+        let (lib_name, key) = self.ready_slots.iter().find_map(|(name, slots)| {
+            let has_queue = self
+                .queue_calls
+                .get(name)
+                .map_or(false, |q| !q.is_empty());
+            if has_queue {
+                slots.keys().next().map(|k| (name.clone(), *k))
+            } else {
+                None
+            }
+        })?;
+        let (worker, instance) = key;
+        let call = self
+            .queue_calls
+            .get_mut(&lib_name)
+            .unwrap()
+            .pop_front()
+            .unwrap();
+
+        let w = self.workers.get_mut(&worker).expect("indexed worker exists");
+        w.begin_call(instance, &call)
+            .expect("slot index promised a free slot");
+        self.consume_slot(&lib_name, worker, instance);
+        *self.pending_supply.entry(lib_name).or_insert(0) -= 1;
+        self.running.insert(
+            UnitId::Call(call.id),
+            Placement {
+                worker,
+                library: Some(instance),
+            },
+        );
+        Some(Decision::DispatchCall {
+            worker,
+            library: instance,
+            call,
+        })
+    }
+
+    fn dispatch_task(&mut self) -> Option<Decision> {
+        let task = self.queue_tasks.front()?;
+        let worker = self
+            .ring
+            .walk(&task.name)
+            .find(|w| self.workers[w].available.can_fit(&task.resources))?;
+        let task = self.queue_tasks.pop_front().unwrap();
+        let w = self.workers.get_mut(&worker).unwrap();
+        // stage cacheable inputs into the view-cache optimistically: the
+        // decision's `missing` list is what the substrate must move
+        let missing: Vec<FileRef> = task
+            .inputs
+            .iter()
+            .filter(|f| f.cache && !w.cache.contains(f.hash))
+            .cloned()
+            .collect();
+        for f in &missing {
+            if w.file_arrived(f.hash, f.materialized_bytes()).is_err() {
+                // cache thrashing: treat as uncacheable this round
+            }
+        }
+        w.begin_task(&task).expect("resources were checked");
+        self.running.insert(
+            UnitId::Task(task.id),
+            Placement {
+                worker,
+                library: None,
+            },
+        );
+        Some(Decision::DispatchTask {
+            worker,
+            task,
+            missing,
+        })
+    }
+
+    fn demand_exceeding_supply(&self) -> Option<String> {
+        self.queue_calls.iter().find_map(|(name, q)| {
+            let supply = self.pending_supply.get(name).copied().unwrap_or(0);
+            if !q.is_empty() && (q.len() as i64) > supply && self.specs.contains_key(name) {
+                Some(name.clone())
+            } else {
+                None
+            }
+        })
+    }
+
+    fn install_library(&mut self) -> Option<Decision> {
+        let lib_name = self.demand_exceeding_supply()?;
+        let spec = self.specs[&lib_name].clone();
+        let per_invocation = self.queue_calls[&lib_name]
+            .front()
+            .map(|c| c.resources)
+            .unwrap_or_default();
+
+        // whole-worker libraries (spec.resources == None) need a fully
+        // free worker; sized libraries need their allocation to fit
+        let worker = self.ring.walk(&lib_name).find(|w| {
+            let ws = &self.workers[w];
+            let want = spec.resources.unwrap_or(ws.total);
+            ws.available.can_fit(&want)
+        })?;
+
+        let instance = LibraryInstanceId(self.next_instance);
+        self.next_instance += 1;
+
+        let w = self.workers.get_mut(&worker).unwrap();
+        let missing: Vec<FileRef> = spec
+            .context
+            .files()
+            .filter(|f| !w.cache.contains(f.hash))
+            .cloned()
+            .collect();
+        for f in spec.context.files() {
+            w.file_arrived(f.hash, f.materialized_bytes()).ok()?;
+        }
+        let inst = w
+            .install_library(instance, spec.clone(), &per_invocation)
+            .ok()?;
+        let slots = inst.slots;
+        self.instance_owner.insert(instance, worker);
+        *self.pending_supply.entry(lib_name).or_insert(0) += i64::from(slots);
+        Some(Decision::InstallLibrary {
+            worker,
+            instance,
+            spec,
+            missing,
+        })
+    }
+
+    fn evict_for_demand(&mut self) -> Option<Decision> {
+        // eviction only ever helps when a *different* library's instance
+        // could be holding resources — with a single registered library
+        // the scan below can never find a victim, so skip it (hot path:
+        // this runs on every manager wake while demand is queued)
+        if self.specs.len() < 2 {
+            return None;
+        }
+        let needy = self.demand_exceeding_supply()?;
+        // find an empty instance of a *different* library
+        let victim = self.workers.values().find_map(|w| {
+            w.empty_libraries().into_iter().find_map(|iid| {
+                let inst = &w.libraries[&iid];
+                if inst.spec.name != needy {
+                    Some((w.id, iid, inst.spec.name.clone()))
+                } else {
+                    None
+                }
+            })
+        })?;
+        let (worker, instance, library_name) = victim;
+        self.remove_instance(worker, instance)
+            .expect("victim instance exists and is empty");
+        Some(Decision::EvictLibrary {
+            worker,
+            instance,
+            library_name,
+        })
+    }
+
+    fn consume_slot(&mut self, lib: &str, worker: WorkerId, instance: LibraryInstanceId) {
+        if let Some(slots) = self.ready_slots.get_mut(lib) {
+            if let Some(free) = slots.get_mut(&(worker, instance)) {
+                *free -= 1;
+                if *free == 0 {
+                    slots.remove(&(worker, instance));
+                }
+            }
+        }
+    }
+
+    fn return_slot(&mut self, lib: &str, worker: WorkerId, instance: LibraryInstanceId) {
+        *self
+            .ready_slots
+            .entry(lib.to_string())
+            .or_default()
+            .entry((worker, instance))
+            .or_insert(0) += 1;
+    }
+
+    fn remove_instance(
+        &mut self,
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+    ) -> Result<vine_worker::LibraryInstance> {
+        let w = self
+            .workers
+            .get_mut(&worker)
+            .ok_or_else(|| VineError::Protocol(format!("no worker {worker}")))?;
+        let inst = w.remove_library(instance)?;
+        self.instance_owner.remove(&instance);
+        self.ready_slots
+            .get_mut(&inst.spec.name)
+            .map(|m| m.remove(&(worker, instance)));
+        *self
+            .pending_supply
+            .entry(inst.spec.name.clone())
+            .or_insert(0) -= i64::from(inst.free_slots());
+        Ok(inst)
+    }
+
+    // ---- substrate events ----
+
+    /// The substrate finished booting a library and its context setup
+    /// succeeded (§3.4 step 2).
+    pub fn library_ready(
+        &mut self,
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+    ) -> Result<()> {
+        let w = self
+            .workers
+            .get_mut(&worker)
+            .ok_or_else(|| VineError::Protocol(format!("no worker {worker}")))?;
+        w.library_ready(instance)?;
+        let inst = &w.libraries[&instance];
+        let name = inst.spec.name.clone();
+        let slots = inst.slots;
+        self.ready_slots
+            .entry(name)
+            .or_default()
+            .insert((worker, instance), slots);
+        Ok(())
+    }
+
+    /// Context setup failed; the instance is removed and its resources
+    /// reclaimed.
+    pub fn library_startup_failed(
+        &mut self,
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+    ) -> Result<()> {
+        let w = self
+            .workers
+            .get_mut(&worker)
+            .ok_or_else(|| VineError::Protocol(format!("no worker {worker}")))?;
+        w.library_failed(instance)?;
+        self.remove_instance(worker, instance)?;
+        Ok(())
+    }
+
+    /// A dispatched unit finished (successfully or not); frees its slot or
+    /// resources.
+    pub fn unit_finished(&mut self, unit: UnitId) -> Result<Placement> {
+        let placement = self
+            .running
+            .remove(&unit)
+            .ok_or_else(|| VineError::Protocol(format!("{unit:?} is not running")))?;
+        let w = self
+            .workers
+            .get_mut(&placement.worker)
+            .ok_or_else(|| VineError::Protocol(format!("no worker {}", placement.worker)))?;
+        match (unit, placement.library) {
+            (UnitId::Call(id), Some(lib)) => {
+                w.finish_call(lib, id)?;
+                let name = w.libraries[&lib].spec.name.clone();
+                self.return_slot(&name, placement.worker, lib);
+                *self.pending_supply.entry(name).or_insert(0) += 1;
+            }
+            (UnitId::Task(id), _) => {
+                w.finish_task(id)?;
+            }
+            (UnitId::Call(id), None) => {
+                return Err(VineError::Internal(format!(
+                    "call {id} ran without a library"
+                )))
+            }
+        }
+        self.completed += 1;
+        Ok(placement)
+    }
+
+    /// Explicitly remove an idle library (application-driven uninstall).
+    pub fn evict_instance(
+        &mut self,
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+    ) -> Result<()> {
+        self.remove_instance(worker, instance).map(|_| ())
+    }
+
+    /// All deployed instances (telemetry for Figs 10 & 11).
+    pub fn instances(&self) -> impl Iterator<Item = (WorkerId, &vine_worker::LibraryInstance)> {
+        self.workers
+            .values()
+            .flat_map(|w| w.libraries.values().map(move |l| (w.id, l)))
+    }
+
+    pub fn placement_of(&self, unit: UnitId) -> Option<Placement> {
+        self.running.get(&unit).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_core::context::ContextSpec;
+    use vine_core::ids::{ContentHash, FileId, InvocationId, TaskId};
+
+    fn lnni_spec() -> LibrarySpec {
+        let mut spec = LibrarySpec::new("lnni");
+        spec.functions = vec!["infer".into()];
+        spec.context = ContextSpec {
+            environment: Some(FileRef::new(
+                FileId(1),
+                "env.tar",
+                ContentHash::of_str("env"),
+                572,
+            )),
+            ..Default::default()
+        };
+        spec
+    }
+
+    fn call(i: u64) -> WorkUnit {
+        let mut c = FunctionCall::new(InvocationId(i), "lnni", "infer", vec![]);
+        c.resources = Resources::lnni_invocation();
+        WorkUnit::Call(c)
+    }
+
+    fn manager_with_workers(n: u32) -> Manager {
+        let mut m = Manager::new();
+        m.register_library(lnni_spec());
+        for i in 0..n {
+            m.worker_joined(WorkerId(i), Resources::paper_worker());
+        }
+        m
+    }
+
+    /// Drive decisions, immediately acking installs as ready.
+    fn drain(m: &mut Manager) -> Vec<Decision> {
+        let mut out = Vec::new();
+        while let Some(d) = m.next_decision() {
+            if let Decision::InstallLibrary { worker, instance, .. } = &d {
+                m.library_ready(*worker, *instance).unwrap();
+            }
+            out.push(d);
+            if out.len() > 10_000 {
+                panic!("runaway decision loop");
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn install_then_dispatch_flow() {
+        let mut m = manager_with_workers(1);
+        m.submit(call(1));
+        // first decision: install (no instance exists)
+        let d = m.next_decision().unwrap();
+        let (worker, instance) = match &d {
+            Decision::InstallLibrary {
+                worker,
+                instance,
+                missing,
+                ..
+            } => {
+                assert_eq!(missing.len(), 1, "env must be staged");
+                (*worker, *instance)
+            }
+            other => panic!("expected install, got {other:?}"),
+        };
+        // the call cannot dispatch while the library is Starting
+        assert!(m.next_decision().is_none());
+        m.library_ready(worker, instance).unwrap();
+        match m.next_decision().unwrap() {
+            Decision::DispatchCall { library, call, .. } => {
+                assert_eq!(library, instance);
+                assert_eq!(call.id, InvocationId(1));
+            }
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+        assert_eq!(m.running_count(), 1);
+        m.unit_finished(UnitId::Call(InvocationId(1))).unwrap();
+        assert_eq!(m.completed, 1);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn second_install_reuses_cached_files() {
+        let mut m = manager_with_workers(1);
+        m.submit(call(1));
+        let decisions = drain(&mut m);
+        m.unit_finished(UnitId::Call(InvocationId(1))).unwrap();
+        let Decision::InstallLibrary { worker, instance, .. } = &decisions[0] else {
+            panic!()
+        };
+        // evict, then demand again: the env file is already cached
+        m.evict_instance(*worker, *instance).unwrap();
+        m.submit(call(2));
+        match m.next_decision().unwrap() {
+            Decision::InstallLibrary { missing, .. } => {
+                assert!(missing.is_empty(), "env already on worker");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn slots_fill_one_worker_before_installing_more() {
+        let mut m = manager_with_workers(4);
+        for i in 0..16 {
+            m.submit(call(i));
+        }
+        let decisions = drain(&mut m);
+        let installs = decisions
+            .iter()
+            .filter(|d| matches!(d, Decision::InstallLibrary { .. }))
+            .count();
+        let dispatches = decisions
+            .iter()
+            .filter(|d| matches!(d, Decision::DispatchCall { .. }))
+            .count();
+        // 16 calls fit in one whole-worker library with 16 slots
+        assert_eq!(installs, 1);
+        assert_eq!(dispatches, 16);
+    }
+
+    #[test]
+    fn demand_spreads_across_workers() {
+        let mut m = manager_with_workers(4);
+        for i in 0..64 {
+            m.submit(call(i));
+        }
+        let decisions = drain(&mut m);
+        let installs: Vec<WorkerId> = decisions
+            .iter()
+            .filter_map(|d| match d {
+                Decision::InstallLibrary { worker, .. } => Some(*worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(installs.len(), 4, "64 calls need 4 × 16 slots");
+        let mut unique = installs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "one instance per worker");
+        assert_eq!(m.running_count(), 64);
+    }
+
+    #[test]
+    fn completion_frees_slot_for_next_call() {
+        let mut m = manager_with_workers(1);
+        for i in 0..17 {
+            m.submit(call(i));
+        }
+        drain(&mut m);
+        assert_eq!(m.running_count(), 16);
+        assert_eq!(m.queued(), 1);
+        m.unit_finished(UnitId::Call(InvocationId(0))).unwrap();
+        match m.next_decision().unwrap() {
+            Decision::DispatchCall { call, .. } => assert_eq!(call.id, InvocationId(16)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_library_fails_fast() {
+        let mut m = manager_with_workers(1);
+        m.submit(WorkUnit::Call(FunctionCall::new(
+            InvocationId(9),
+            "ghost",
+            "f",
+            vec![],
+        )));
+        match m.next_decision().unwrap() {
+            Decision::Fail { unit, error } => {
+                assert_eq!(unit, UnitId::Call(InvocationId(9)));
+                assert!(error.contains("ghost"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_library_evicted_for_other_demand() {
+        let mut m = manager_with_workers(1);
+        // fill the worker with an idle lnni library
+        m.submit(call(1));
+        drain(&mut m);
+        m.unit_finished(UnitId::Call(InvocationId(1))).unwrap();
+
+        // now demand for a different whole-worker library arrives
+        let mut other = LibrarySpec::new("examol");
+        other.functions = vec!["simulate".into()];
+        m.register_library(other);
+        m.submit(WorkUnit::Call(FunctionCall::new(
+            InvocationId(2),
+            "examol",
+            "simulate",
+            vec![],
+        )));
+
+        let decisions = drain(&mut m);
+        assert!(
+            matches!(&decisions[0], Decision::EvictLibrary { library_name, .. } if library_name == "lnni"),
+            "{decisions:?}"
+        );
+        assert!(
+            matches!(&decisions[1], Decision::InstallLibrary { spec, .. } if spec.name == "examol")
+        );
+        assert!(matches!(&decisions[2], Decision::DispatchCall { .. }));
+    }
+
+    #[test]
+    fn busy_library_not_evicted() {
+        let mut m = manager_with_workers(1);
+        m.submit(call(1));
+        drain(&mut m); // lnni running invocation 1
+
+        let mut other = LibrarySpec::new("examol");
+        other.functions = vec!["simulate".into()];
+        m.register_library(other);
+        m.submit(WorkUnit::Call(FunctionCall::new(
+            InvocationId(2),
+            "examol",
+            "simulate",
+            vec![],
+        )));
+        // lnni is busy: nothing can progress
+        assert!(m.next_decision().is_none());
+        // once idle, eviction unblocks examol
+        m.unit_finished(UnitId::Call(InvocationId(1))).unwrap();
+        let decisions = drain(&mut m);
+        assert!(decisions
+            .iter()
+            .any(|d| matches!(d, Decision::EvictLibrary { .. })));
+    }
+
+    #[test]
+    fn task_dispatch_and_finish() {
+        let mut m = manager_with_workers(2);
+        let mut t = TaskSpec::new(TaskId(1), "wrapped-f");
+        t.resources = Resources::lnni_invocation();
+        t.inputs = vec![FileRef::new(
+            FileId(5),
+            "data",
+            ContentHash::of_str("data"),
+            100,
+        )];
+        m.submit(WorkUnit::Task(t.clone()));
+        match m.next_decision().unwrap() {
+            Decision::DispatchTask { missing, .. } => assert_eq!(missing.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        m.unit_finished(UnitId::Task(TaskId(1))).unwrap();
+
+        // second task with the same input: now cached on that worker (the
+        // ring walk for the same task name lands on the same worker)
+        let mut t2 = t.clone();
+        t2.id = TaskId(2);
+        m.submit(WorkUnit::Task(t2));
+        match m.next_decision().unwrap() {
+            Decision::DispatchTask { missing, .. } => {
+                assert!(missing.is_empty(), "input cached from task 1");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_loss_requeues_running_units() {
+        let mut m = manager_with_workers(1);
+        for i in 0..4 {
+            m.submit(call(i));
+        }
+        drain(&mut m);
+        assert_eq!(m.running_count(), 4);
+        let lost = m.worker_left(WorkerId(0));
+        assert_eq!(lost.len(), 4);
+        assert_eq!(m.worker_count(), 0);
+        assert_eq!(m.running_count(), 0);
+        // with no workers nothing schedules
+        for unit in lost {
+            if let UnitId::Call(id) = unit {
+                m.requeue(call(id.0));
+            }
+        }
+        assert!(m.next_decision().is_none());
+        // a replacement worker picks the work back up
+        m.worker_joined(WorkerId(1), Resources::paper_worker());
+        let decisions = drain(&mut m);
+        assert_eq!(
+            decisions
+                .iter()
+                .filter(|d| matches!(d, Decision::DispatchCall { .. }))
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn library_startup_failure_reclaims_resources() {
+        let mut m = manager_with_workers(1);
+        m.submit(call(1));
+        let d = m.next_decision().unwrap();
+        let Decision::InstallLibrary { worker, instance, .. } = d else {
+            panic!()
+        };
+        m.library_startup_failed(worker, instance).unwrap();
+        assert_eq!(m.workers[&worker].available, Resources::paper_worker());
+        // demand still queued: the manager tries again
+        match m.next_decision().unwrap() {
+            Decision::InstallLibrary { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_counts() {
+        let mut m = manager_with_workers(1);
+        assert_eq!(m.pending(), 0);
+        m.submit(call(1));
+        m.submit(call(2));
+        assert_eq!(m.pending(), 2);
+        drain(&mut m);
+        assert_eq!(m.queued(), 0);
+        assert_eq!(m.pending(), 2, "running units still pending");
+    }
+
+    #[test]
+    fn telemetry_instances_and_share() {
+        let mut m = manager_with_workers(2);
+        for i in 0..20 {
+            m.submit(call(i));
+        }
+        drain(&mut m);
+        for i in 0..20 {
+            // finish only those actually dispatched
+            if m.placement_of(UnitId::Call(InvocationId(i))).is_some() {
+                m.unit_finished(UnitId::Call(InvocationId(i))).unwrap();
+            }
+        }
+        let served: u64 = m.instances().map(|(_, l)| l.served).sum();
+        assert_eq!(served, m.completed);
+        assert!(m.instances().count() >= 1);
+    }
+}

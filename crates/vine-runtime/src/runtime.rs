@@ -1,0 +1,336 @@
+//! The live runtime: the same [`vine_manager::Manager`] brain driving real
+//! threads.
+
+use crate::library_host::LibraryImage;
+use crate::worker_host::{spawn_worker, RuntimeEvent, WorkerCmd, WorkerHandle};
+use crossbeam::channel::Receiver;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use vine_core::context::LibrarySpec;
+use vine_core::ids::WorkerId;
+use vine_core::resources::Resources;
+use vine_core::task::{ExecMode, Outcome, UnitId, WorkUnit};
+use vine_core::{Result, VineError};
+use vine_lang::pickle;
+use vine_lang::{ModuleRegistry, Value};
+use vine_manager::{Decision, Manager};
+
+/// Live cluster configuration.
+#[derive(Clone)]
+pub struct RuntimeConfig {
+    pub workers: usize,
+    pub worker_resources: Resources,
+    /// Modules available on workers (the activated environment).
+    pub registry: ModuleRegistry,
+    /// Give up if the cluster makes no progress for this long.
+    pub idle_timeout: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 2,
+            worker_resources: Resources::new(8, 16 * 1024, 16 * 1024),
+            registry: ModuleRegistry::new(),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct LibraryTemplate {
+    source: String,
+    serialized_functions: Vec<Vec<u8>>,
+    setup_args_blob: Option<Vec<u8>>,
+    mode: ExecMode,
+}
+
+/// A live in-process cluster.
+pub struct Runtime {
+    mgr: Manager,
+    workers: BTreeMap<WorkerId, WorkerHandle>,
+    events: Receiver<RuntimeEvent>,
+    templates: BTreeMap<String, LibraryTemplate>,
+    in_flight: BTreeMap<UnitId, WorkUnit>,
+    outcomes: Vec<Outcome>,
+    /// Wall-clock per completed unit (dispatch → result), for the live
+    /// Table 2 measurements.
+    pub unit_durations: Vec<(UnitId, Duration)>,
+    dispatch_times: BTreeMap<UnitId, Instant>,
+    idle_timeout: Duration,
+}
+
+impl Runtime {
+    /// Boot a cluster of worker threads.
+    pub fn new(cfg: RuntimeConfig) -> Runtime {
+        let (etx, erx) = crossbeam::channel::unbounded();
+        let mut mgr = Manager::new();
+        let mut workers = BTreeMap::new();
+        for i in 0..cfg.workers {
+            let id = WorkerId(i as u32);
+            mgr.worker_joined(id, cfg.worker_resources);
+            workers.insert(id, spawn_worker(id, cfg.registry.clone(), etx.clone()));
+        }
+        Runtime {
+            mgr,
+            workers,
+            events: erx,
+            templates: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            outcomes: Vec::new(),
+            unit_durations: Vec::new(),
+            dispatch_times: BTreeMap::new(),
+            idle_timeout: cfg.idle_timeout,
+        }
+    }
+
+    /// Register a library: the spec (for the scheduler) plus what workers
+    /// need to boot it — module source, serialized code objects, and
+    /// context-setup arguments (Fig 5's `create_library_from_functions` +
+    /// `install_library`).
+    pub fn install_library(
+        &mut self,
+        spec: LibrarySpec,
+        source: &str,
+        serialized_functions: Vec<Vec<u8>>,
+        setup_args: &[Value],
+    ) -> Result<()> {
+        let setup_args_blob = if spec.context.setup.is_some() {
+            Some(pickle::serialize_args(setup_args)?)
+        } else {
+            None
+        };
+        self.templates.insert(
+            spec.name.clone(),
+            LibraryTemplate {
+                source: source.to_string(),
+                serialized_functions,
+                setup_args_blob,
+                mode: spec.exec_mode,
+            },
+        );
+        self.mgr.register_library(spec);
+        Ok(())
+    }
+
+    pub fn submit(&mut self, unit: WorkUnit) {
+        self.mgr.submit(unit);
+    }
+
+    /// Kill a worker (fault injection): its thread shuts down; running
+    /// units are requeued and rescheduled elsewhere.
+    pub fn kill_worker(&mut self, id: WorkerId) {
+        if let Some(mut h) = self.workers.remove(&id) {
+            let _ = h.tx.send(WorkerCmd::Shutdown);
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+        let lost = self.mgr.worker_left(id);
+        for unit in lost {
+            if let Some(w) = self.in_flight.remove(&unit) {
+                self.dispatch_times.remove(&unit);
+                self.mgr.requeue(w);
+            }
+        }
+    }
+
+    /// Drive the cluster until the *next* unit completes, returning its
+    /// outcome — `Ok(None)` once everything is done. This is the primitive
+    /// a dataflow layer needs: it can submit newly unblocked work between
+    /// completions (the paper's Parsl integration receives "an arbitrary
+    /// stream of function invocations", §3.6).
+    pub fn run_next(&mut self) -> Result<Option<Outcome>> {
+        loop {
+            self.pump()?;
+            if let Some(o) = self.outcomes.pop() {
+                return Ok(Some(o));
+            }
+            if self.mgr.is_idle() {
+                return Ok(None);
+            }
+            let ev = self
+                .events
+                .recv_timeout(self.idle_timeout)
+                .map_err(|_| {
+                    VineError::Timeout(format!(
+                        "no progress for {:?} with {} unit(s) outstanding",
+                        self.idle_timeout,
+                        self.mgr.pending()
+                    ))
+                })?;
+            self.handle(ev)?;
+            while let Ok(ev) = self.events.try_recv() {
+                self.handle(ev)?;
+            }
+        }
+    }
+
+    /// Drive scheduling and execution until every submitted unit has a
+    /// result. Returns the outcomes accumulated since the last call.
+    pub fn run_until_idle(&mut self) -> Result<Vec<Outcome>> {
+        loop {
+            self.pump()?;
+            if self.mgr.is_idle() {
+                break;
+            }
+            let ev = self
+                .events
+                .recv_timeout(self.idle_timeout)
+                .map_err(|_| {
+                    VineError::Timeout(format!(
+                        "no progress for {:?} with {} unit(s) outstanding",
+                        self.idle_timeout,
+                        self.mgr.pending()
+                    ))
+                })?;
+            self.handle(ev)?;
+            // drain anything else that is already waiting
+            while let Ok(ev) = self.events.try_recv() {
+                self.handle(ev)?;
+            }
+        }
+        Ok(std::mem::take(&mut self.outcomes))
+    }
+
+    /// Emit and realize scheduling decisions until the manager rests.
+    fn pump(&mut self) -> Result<()> {
+        while let Some(d) = self.mgr.next_decision() {
+            match d {
+                Decision::InstallLibrary {
+                    worker,
+                    instance,
+                    spec,
+                    missing: _,
+                } => {
+                    let template = self.templates.get(&spec.name).ok_or_else(|| {
+                        VineError::Internal(format!("no template for library {}", spec.name))
+                    })?;
+                    let image = LibraryImage {
+                        instance,
+                        source: template.source.clone(),
+                        serialized_functions: template.serialized_functions.clone(),
+                        setup: spec.context.setup.as_ref().map(|s| {
+                            (
+                                s.function.clone(),
+                                template
+                                    .setup_args_blob
+                                    .clone()
+                                    .unwrap_or_else(|| s.args_blob.clone()),
+                            )
+                        }),
+                        default_mode: template.mode,
+                    };
+                    self.send(worker, WorkerCmd::InstallLibrary(image))?;
+                }
+                Decision::EvictLibrary {
+                    worker, instance, ..
+                } => {
+                    self.send(worker, WorkerCmd::RemoveLibrary(instance))?;
+                }
+                Decision::DispatchCall {
+                    worker,
+                    library,
+                    call,
+                } => {
+                    let unit = UnitId::Call(call.id);
+                    self.dispatch_times.insert(unit, Instant::now());
+                    self.in_flight.insert(unit, WorkUnit::Call(call.clone()));
+                    self.send(
+                        worker,
+                        WorkerCmd::Invoke {
+                            instance: library,
+                            call,
+                        },
+                    )?;
+                }
+                Decision::DispatchTask { worker, task, .. } => {
+                    let unit = UnitId::Task(task.id);
+                    self.dispatch_times.insert(unit, Instant::now());
+                    self.in_flight.insert(unit, WorkUnit::Task(task.clone()));
+                    self.send(worker, WorkerCmd::RunTask(task))?;
+                }
+                Decision::Fail { unit, error } => {
+                    self.outcomes.push(Outcome::failed(unit, error));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn send(&self, worker: WorkerId, cmd: WorkerCmd) -> Result<()> {
+        self.workers
+            .get(&worker)
+            .ok_or(VineError::WorkerLost(worker))?
+            .tx
+            .send(cmd)
+            .map_err(|_| VineError::WorkerLost(worker))
+    }
+
+    fn handle(&mut self, ev: RuntimeEvent) -> Result<()> {
+        match ev {
+            RuntimeEvent::LibraryReady { worker, instance } => {
+                self.mgr.library_ready(worker, instance)?;
+            }
+            RuntimeEvent::LibraryFailed {
+                worker,
+                instance,
+                error: _,
+            } => {
+                self.mgr.library_startup_failed(worker, instance)?;
+            }
+            RuntimeEvent::UnitDone { worker: _, outcome } => {
+                let unit = outcome.unit;
+                // a result from a worker we already gave up on (killed) is
+                // stale: the unit was requeued and will run again
+                if self.in_flight.remove(&unit).is_none() {
+                    return Ok(());
+                }
+                if let Some(at) = self.dispatch_times.remove(&unit) {
+                    self.unit_durations.push((unit, at.elapsed()));
+                }
+                self.mgr.unit_finished(unit)?;
+                self.outcomes.push(outcome);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deployed library instances and their share values (live Fig 11).
+    pub fn library_share_values(&self) -> Vec<(WorkerId, u64)> {
+        self.mgr.instances().map(|(w, l)| (w, l.served)).collect()
+    }
+
+    /// Shut the cluster down, joining every thread.
+    pub fn shutdown(mut self) {
+        for (_, h) in self.workers.iter_mut() {
+            let _ = h.tx.send(WorkerCmd::Shutdown);
+        }
+        for (_, mut h) in std::mem::take(&mut self.workers) {
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        for (_, h) in self.workers.iter_mut() {
+            let _ = h.tx.send(WorkerCmd::Shutdown);
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+/// Decode an outcome's result blob into a value (application-side helper).
+pub fn decode_result(outcome: &Outcome) -> Result<Value> {
+    if !outcome.success {
+        return Err(VineError::ExecutionFailed(
+            outcome.error.clone().unwrap_or_default(),
+        ));
+    }
+    let globals = std::rc::Rc::new(std::cell::RefCell::new(BTreeMap::new()));
+    pickle::deserialize_value(&outcome.result_blob, &globals)
+}

@@ -1,0 +1,281 @@
+//! The worker thread: relays manager commands to library daemons and runs
+//! stateless tasks, mirroring the paper's worker process.
+
+use crate::library_host::{spawn_library, LibraryHost, LibraryImage};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+use vine_core::context::CodeArtifact;
+use vine_core::ids::{LibraryInstanceId, WorkerId};
+use vine_core::task::{FunctionCall, Outcome, TaskSpec, UnitId};
+use vine_lang::pickle;
+use vine_lang::{Interp, ModuleRegistry};
+use vine_worker::{LibraryToWorker, WorkerToLibrary};
+
+/// Commands the manager side sends a worker.
+pub enum WorkerCmd {
+    InstallLibrary(LibraryImage),
+    RemoveLibrary(LibraryInstanceId),
+    Invoke {
+        instance: LibraryInstanceId,
+        call: FunctionCall,
+    },
+    RunTask(TaskSpec),
+    Shutdown,
+}
+
+/// Events a worker reports back to the runtime.
+#[derive(Debug)]
+pub enum RuntimeEvent {
+    LibraryReady {
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+    },
+    LibraryFailed {
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+        error: String,
+    },
+    UnitDone {
+        worker: WorkerId,
+        outcome: Outcome,
+    },
+}
+
+/// Handle to a spawned worker thread.
+pub struct WorkerHandle {
+    pub id: WorkerId,
+    pub tx: Sender<WorkerCmd>,
+    pub thread: Option<JoinHandle<()>>,
+}
+
+/// Spawn a worker thread.
+pub fn spawn_worker(
+    id: WorkerId,
+    registry: ModuleRegistry,
+    events: Sender<RuntimeEvent>,
+) -> WorkerHandle {
+    let (tx, rx) = crossbeam::channel::unbounded::<WorkerCmd>();
+    let thread = std::thread::Builder::new()
+        .name(format!("worker-{id}"))
+        .spawn(move || worker_main(id, registry, rx, events))
+        .expect("spawn worker thread");
+    WorkerHandle {
+        id,
+        tx,
+        thread: Some(thread),
+    }
+}
+
+fn worker_main(
+    id: WorkerId,
+    registry: ModuleRegistry,
+    rx: Receiver<WorkerCmd>,
+    events: Sender<RuntimeEvent>,
+) {
+    let (lib_tx, lib_rx) =
+        crossbeam::channel::unbounded::<(WorkerId, LibraryInstanceId, LibraryToWorker)>();
+    let mut libraries: BTreeMap<LibraryInstanceId, LibraryHost> = BTreeMap::new();
+    let mut task_threads: Vec<JoinHandle<()>> = Vec::new();
+
+    loop {
+        crossbeam::channel::select! {
+            recv(rx) -> cmd => {
+                let Ok(cmd) = cmd else { break };
+                match cmd {
+                    WorkerCmd::InstallLibrary(image) => {
+                        let host = spawn_library(id, image, registry.clone(), lib_tx.clone());
+                        libraries.insert(host.instance, host);
+                    }
+                    WorkerCmd::RemoveLibrary(instance) => {
+                        if let Some(mut host) = libraries.remove(&instance) {
+                            let _ = host.tx.send(WorkerToLibrary::Shutdown);
+                            if let Some(t) = host.thread.take() {
+                                let _ = t.join();
+                            }
+                        }
+                    }
+                    WorkerCmd::Invoke { instance, call } => {
+                        match libraries.get(&instance) {
+                            Some(host) => {
+                                // the invocation's option wins; otherwise
+                                // the library's default (§3.4 step 4)
+                                let mode = call.exec_mode.unwrap_or(host.default_mode);
+                                let _ = host.tx.send(WorkerToLibrary::Invoke {
+                                    id: call.id,
+                                    function: call.function.clone(),
+                                    args_blob: call.args_blob.clone(),
+                                    sandbox: format!("sandbox/{}", call.id),
+                                    mode,
+                                });
+                            }
+                            None => {
+                                let _ = events.send(RuntimeEvent::UnitDone {
+                                    worker: id,
+                                    outcome: Outcome::failed(
+                                        UnitId::Call(call.id),
+                                        format!("no library instance {instance} on {id}"),
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    WorkerCmd::RunTask(task) => {
+                        // each task gets its own thread — stateless tasks on
+                        // one worker run concurrently, like separate processes
+                        let events = events.clone();
+                        let registry = registry.clone();
+                        let t = std::thread::Builder::new()
+                            .name(format!("task-{}", task.id))
+                            .spawn(move || {
+                                let outcome = execute_task(&task, registry);
+                                let _ = events.send(RuntimeEvent::UnitDone {
+                                    worker: id,
+                                    outcome,
+                                });
+                            })
+                            .expect("spawn task thread");
+                        task_threads.push(t);
+                    }
+                    WorkerCmd::Shutdown => break,
+                }
+            }
+            recv(lib_rx) -> msg => {
+                let Ok((_, instance, msg)) = msg else { break };
+                let ev = match msg {
+                    LibraryToWorker::Ready => RuntimeEvent::LibraryReady {
+                        worker: id,
+                        instance,
+                    },
+                    LibraryToWorker::StartupFailed { error } => RuntimeEvent::LibraryFailed {
+                        worker: id,
+                        instance,
+                        error,
+                    },
+                    LibraryToWorker::ResultReady { id: call_id, result } => {
+                        RuntimeEvent::UnitDone {
+                            worker: id,
+                            outcome: match result {
+                                Ok(blob) => Outcome::ok(UnitId::Call(call_id), blob),
+                                Err(e) => Outcome::failed(UnitId::Call(call_id), e),
+                            },
+                        }
+                    }
+                };
+                let _ = events.send(ev);
+            }
+        }
+    }
+
+    // drain: stop libraries, join task threads
+    for (_, mut host) in libraries {
+        let _ = host.tx.send(WorkerToLibrary::Shutdown);
+        if let Some(t) = host.thread.take() {
+            let _ = t.join();
+        }
+    }
+    for t in task_threads {
+        let _ = t.join();
+    }
+}
+
+/// Run a stateless task: fresh interpreter, reconstruct shipped code,
+/// execute, serialize the result — the full context reload the paper's
+/// L1/L2 levels pay per execution.
+pub fn execute_task(task: &TaskSpec, registry: ModuleRegistry) -> Outcome {
+    let unit = UnitId::Task(task.id);
+    let mut interp = Interp::with_registry(registry);
+    for artifact in &task.code {
+        let result = match artifact {
+            CodeArtifact::Source { text, .. } => interp.exec_source(text),
+            CodeArtifact::Serialized { blob, .. } => {
+                pickle::deserialize_funcdef(blob).map(|def| interp.bind_function(def))
+            }
+        };
+        if let Err(e) = result {
+            return Outcome::failed(unit, format!("reconstructing {}: {e}", artifact.name()));
+        }
+    }
+    let Some(function) = &task.function else {
+        // a pure side-effect task: success is having executed the code
+        return Outcome::ok(unit, Vec::new());
+    };
+    let args = match pickle::deserialize_args(&task.args_blob, &interp.globals) {
+        Ok(a) => a,
+        Err(e) => return Outcome::failed(unit, format!("arguments: {e}")),
+    };
+    match interp.call_global(function, &args) {
+        Ok(value) => match pickle::serialize_value(&value) {
+            Ok(blob) => Outcome::ok(unit, blob),
+            Err(e) => Outcome::failed(unit, format!("result serialization: {e}")),
+        },
+        Err(e) => Outcome::failed(unit, e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_core::ids::TaskId;
+    use vine_lang::Value;
+
+    #[test]
+    fn execute_task_reconstructs_and_runs() {
+        let mut task = TaskSpec::new(TaskId(1), "t");
+        task.code = vec![CodeArtifact::Source {
+            name: "f".into(),
+            text: "def f(a, b) { return a * b }".into(),
+        }];
+        task.function = Some("f".into());
+        task.args_blob =
+            pickle::serialize_args(&[Value::Int(6), Value::Int(7)]).unwrap();
+        let outcome = execute_task(&task, ModuleRegistry::new());
+        assert!(outcome.success, "{:?}", outcome.error);
+        let g = std::rc::Rc::new(std::cell::RefCell::new(Default::default()));
+        assert_eq!(
+            pickle::deserialize_value(&outcome.result_blob, &g).unwrap(),
+            Value::Int(42)
+        );
+    }
+
+    #[test]
+    fn execute_task_reports_failures() {
+        // bad source
+        let mut task = TaskSpec::new(TaskId(1), "t");
+        task.code = vec![CodeArtifact::Source {
+            name: "f".into(),
+            text: "def f( {".into(),
+        }];
+        assert!(!execute_task(&task, ModuleRegistry::new()).success);
+
+        // missing function
+        let mut task = TaskSpec::new(TaskId(2), "t");
+        task.function = Some("ghost".into());
+        task.args_blob = pickle::serialize_args(&[]).unwrap();
+        let o = execute_task(&task, ModuleRegistry::new());
+        assert!(!o.success);
+        assert!(o.error.unwrap().contains("undefined"));
+
+        // runtime error inside the function
+        let mut task = TaskSpec::new(TaskId(3), "t");
+        task.code = vec![CodeArtifact::Source {
+            name: "f".into(),
+            text: "def f() { return 1 / 0 }".into(),
+        }];
+        task.function = Some("f".into());
+        task.args_blob = pickle::serialize_args(&[]).unwrap();
+        let o = execute_task(&task, ModuleRegistry::new());
+        assert!(!o.success);
+        assert!(o.error.unwrap().contains("division by zero"));
+    }
+
+    #[test]
+    fn pure_code_task_succeeds_without_function() {
+        let mut task = TaskSpec::new(TaskId(4), "t");
+        task.code = vec![CodeArtifact::Source {
+            name: "m".into(),
+            text: "x = 1 + 1".into(),
+        }];
+        assert!(execute_task(&task, ModuleRegistry::new()).success);
+    }
+}

@@ -1,0 +1,288 @@
+//! End-to-end tests of the live threaded cluster.
+
+use vine_core::context::{ContextSpec, LibrarySpec, SetupSpec};
+use vine_core::ids::{InvocationId, TaskId, WorkerId};
+use vine_core::resources::Resources;
+use vine_core::task::{ExecMode, FunctionCall, TaskSpec, UnitId, WorkUnit};
+use vine_lang::pickle;
+use vine_lang::Value;
+use vine_runtime::{decode_result, Runtime, RuntimeConfig};
+
+const LIB_SOURCE: &str = r#"
+def context_setup(base) {
+    global model
+    model = base * 1000
+}
+def f(x) {
+    return model + x
+}
+def accumulate(x) {
+    global model
+    model = model + x
+    return model
+}
+"#;
+
+fn lnni_like_spec(slots: u32, mode: ExecMode) -> LibrarySpec {
+    let mut spec = LibrarySpec::new("testlib");
+    spec.functions = vec!["f".into(), "accumulate".into()];
+    spec.resources = Some(Resources::new(4, 4096, 4096));
+    spec.slots = Some(slots);
+    spec.exec_mode = mode;
+    spec.context = ContextSpec {
+        setup: Some(SetupSpec {
+            function: "context_setup".into(),
+            args_blob: vec![],
+        }),
+        ..Default::default()
+    };
+    spec
+}
+
+fn call(i: u64, function: &str, x: i64) -> WorkUnit {
+    let mut c = FunctionCall::new(
+        InvocationId(i),
+        "testlib",
+        function,
+        pickle::serialize_args(&[Value::Int(x)]).unwrap(),
+    );
+    c.resources = Resources::new(1, 512, 512);
+    WorkUnit::Call(c)
+}
+
+#[test]
+fn invocations_reuse_context_across_workers() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    rt.install_library(
+        lnni_like_spec(4, ExecMode::Direct),
+        LIB_SOURCE,
+        vec![],
+        &[Value::Int(7)],
+    )
+    .unwrap();
+    for i in 0..20 {
+        rt.submit(call(i, "f", i as i64));
+    }
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 20);
+    for o in &outcomes {
+        assert!(o.success, "{:?}", o.error);
+        let UnitId::Call(id) = o.unit else { panic!() };
+        // context_setup(7) ⇒ model = 7000; f(x) = 7000 + x
+        assert_eq!(decode_result(o).unwrap(), Value::Int(7000 + id.0 as i64));
+    }
+    // context was set up once per deployed library, not per invocation
+    let shares = rt.library_share_values();
+    let total: u64 = shares.iter().map(|(_, s)| s).sum();
+    assert_eq!(total, 20);
+    assert!(shares.len() <= 4, "at most a few instances: {shares:?}");
+    rt.shutdown();
+}
+
+#[test]
+fn direct_mode_shares_mutations_fork_mode_isolates() {
+    // Direct: accumulate() mutates the retained context; sequential
+    // invocations observe each other. The worker is sized so exactly ONE
+    // library instance fits (otherwise the manager rightly deploys more
+    // instances, each with its own context).
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        worker_resources: Resources::new(4, 4096, 4096),
+        ..Default::default()
+    });
+    rt.install_library(
+        lnni_like_spec(1, ExecMode::Direct),
+        LIB_SOURCE,
+        vec![],
+        &[Value::Int(0)],
+    )
+    .unwrap();
+    for i in 0..3 {
+        rt.submit(call(i, "accumulate", 10));
+    }
+    let outcomes = rt.run_until_idle().unwrap();
+    let mut results: Vec<i64> = outcomes
+        .iter()
+        .map(|o| decode_result(o).unwrap().as_int().unwrap())
+        .collect();
+    results.sort_unstable();
+    assert_eq!(results, vec![10, 20, 30], "mutations accumulate in Direct");
+    rt.shutdown();
+
+    // Fork: every invocation sees the pristine context
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        worker_resources: Resources::new(4, 4096, 4096),
+        ..Default::default()
+    });
+    rt.install_library(
+        lnni_like_spec(1, ExecMode::Fork),
+        LIB_SOURCE,
+        vec![],
+        &[Value::Int(0)],
+    )
+    .unwrap();
+    for i in 0..3 {
+        rt.submit(call(i, "accumulate", 10));
+    }
+    let outcomes = rt.run_until_idle().unwrap();
+    for o in &outcomes {
+        assert_eq!(
+            decode_result(o).unwrap(),
+            Value::Int(10),
+            "forked invocations never see each other's writes"
+        );
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn tasks_reload_context_every_time() {
+    // the L1/L2 path: each task reconstructs code and re-runs setup
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    for i in 0..6 {
+        let mut t = TaskSpec::new(TaskId(i), "wrapped");
+        t.code = vec![vine_core::context::CodeArtifact::Source {
+            name: "module".into(),
+            // setup is re-executed inside every task — the reload the
+            // paper's L3 level eliminates
+            text: format!("{LIB_SOURCE}\ncontext_setup(1)"),
+        }];
+        t.function = Some("accumulate".into());
+        t.args_blob = pickle::serialize_args(&[Value::Int(5)]).unwrap();
+        t.resources = Resources::new(1, 512, 512);
+        rt.submit(WorkUnit::Task(t));
+    }
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 6);
+    for o in &outcomes {
+        assert!(o.success, "{:?}", o.error);
+        // every task starts from model = 1000: no sharing between tasks
+        assert_eq!(decode_result(o).unwrap(), Value::Int(1005));
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn unknown_library_fails_cleanly() {
+    let mut rt = Runtime::new(RuntimeConfig::default());
+    rt.submit(call(1, "f", 0)); // "testlib" never installed
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert!(!outcomes[0].success);
+    assert!(outcomes[0].error.as_ref().unwrap().contains("testlib"));
+    rt.shutdown();
+}
+
+#[test]
+fn failed_invocation_reports_error_and_cluster_continues() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    rt.install_library(
+        lnni_like_spec(2, ExecMode::Direct),
+        LIB_SOURCE,
+        vec![],
+        &[Value::Int(1)],
+    )
+    .unwrap();
+    // f("oops") fails inside the function (string + int)
+    let mut bad = FunctionCall::new(
+        InvocationId(1),
+        "testlib",
+        "f",
+        pickle::serialize_args(&[Value::str("oops")]).unwrap(),
+    );
+    bad.resources = Resources::new(1, 512, 512);
+    rt.submit(WorkUnit::Call(bad));
+    rt.submit(call(2, "f", 1));
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 2);
+    let failed = outcomes.iter().find(|o| !o.success).unwrap();
+    assert_eq!(failed.unit, UnitId::Call(InvocationId(1)));
+    let ok = outcomes.iter().find(|o| o.success).unwrap();
+    assert_eq!(decode_result(ok).unwrap(), Value::Int(1001));
+    rt.shutdown();
+}
+
+#[test]
+fn worker_death_reschedules_in_flight_work() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    rt.install_library(
+        lnni_like_spec(2, ExecMode::Direct),
+        LIB_SOURCE,
+        vec![],
+        &[Value::Int(3)],
+    )
+    .unwrap();
+    for i in 0..8 {
+        rt.submit(call(i, "f", 0));
+    }
+    // kill one worker immediately — anything dispatched there is requeued
+    rt.kill_worker(WorkerId(0));
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 8, "all units complete on the survivor");
+    for o in &outcomes {
+        assert!(o.success, "{:?}", o.error);
+        assert_eq!(decode_result(o).unwrap(), Value::Int(3000));
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn lnni_application_runs_live() {
+    // the real LNNI functions + nn module, small scale
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        registry: vine_apps::modules::full_registry(),
+        ..Default::default()
+    });
+    let mut spec = LibrarySpec::new("lnni");
+    spec.functions = vec!["infer".into()];
+    spec.resources = Some(Resources::new(2, 2048, 2048));
+    spec.slots = Some(2);
+    spec.context = ContextSpec {
+        setup: Some(SetupSpec {
+            function: "context_setup".into(),
+            args_blob: vec![],
+        }),
+        ..Default::default()
+    };
+    rt.install_library(
+        spec,
+        vine_apps::lnni::LNNI_SOURCE,
+        vec![],
+        &[Value::Int(3), Value::Int(32)], // 3 layers, dim 32
+    )
+    .unwrap();
+    for i in 0..10u64 {
+        let mut c = FunctionCall::new(
+            InvocationId(i),
+            "lnni",
+            "infer",
+            pickle::serialize_args(&[Value::Int(i as i64 * 16), Value::Int(16)]).unwrap(),
+        );
+        c.resources = Resources::new(1, 512, 512);
+        rt.submit(WorkUnit::Call(c));
+    }
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 10);
+    for o in &outcomes {
+        assert!(o.success, "{:?}", o.error);
+        let Value::List(classes) = decode_result(o).unwrap() else {
+            panic!("expected class list")
+        };
+        assert_eq!(classes.borrow().len(), 16, "16 inferences per invocation");
+    }
+    rt.shutdown();
+}

@@ -1,0 +1,300 @@
+//! Event queue and fluid resource pools.
+//!
+//! The simulator is a classic discrete-event engine plus *fluid flows* for
+//! contended resources. A [`FluidPool`] models processor sharing: `n`
+//! concurrent flows each progress at `min(per_flow_cap, capacity / n)`.
+//! Whenever the flow set changes, all flows' progress is advanced to the
+//! current instant and the pool's next completion is rescheduled; stale
+//! completion events are recognized by an epoch counter. This models the
+//! paper's contended devices — the shared filesystem's aggregate bandwidth
+//! and IOPS, each worker's local SSD, and each node's NIC — without
+//! per-packet simulation.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use vine_core::{SimDuration, SimTime};
+
+/// A scheduled event: time-ordered, FIFO within the same instant.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.heap.push(Reverse(Scheduled {
+            at: at.max(self.now),
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Identifier of a flow within a pool.
+pub type FlowId = u64;
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64,
+}
+
+/// A processor-shared fluid resource.
+#[derive(Debug)]
+pub struct FluidPool {
+    /// Aggregate capacity (bytes/s, ops/s, ...).
+    capacity: f64,
+    /// Per-flow ceiling (e.g. one client's NIC when reading a shared FS).
+    per_flow_cap: f64,
+    flows: BTreeMap<FlowId, Flow>,
+    last_advance: SimTime,
+    /// Bumped on every flow-set change; completion events carry the epoch
+    /// they were computed under and are ignored if stale.
+    pub epoch: u64,
+}
+
+impl FluidPool {
+    pub fn new(capacity: f64, per_flow_cap: f64) -> FluidPool {
+        FluidPool {
+            capacity: capacity.max(1e-9),
+            per_flow_cap: per_flow_cap.max(1e-9),
+            flows: BTreeMap::new(),
+            last_advance: SimTime::ZERO,
+            epoch: 0,
+        }
+    }
+
+    pub fn rate(&self) -> f64 {
+        if self.flows.is_empty() {
+            return self.per_flow_cap;
+        }
+        (self.capacity / self.flows.len() as f64).min(self.per_flow_cap)
+    }
+
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Advance all flows' progress to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_advance).as_secs_f64();
+        if dt > 0.0 && !self.flows.is_empty() {
+            let done = self.rate() * dt;
+            for f in self.flows.values_mut() {
+                f.remaining = (f.remaining - done).max(0.0);
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Add a flow of `amount` units. Caller must then reschedule via
+    /// [`FluidPool::next_completion`].
+    pub fn add(&mut self, now: SimTime, id: FlowId, amount: f64) {
+        self.advance(now);
+        self.epoch += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                remaining: amount.max(0.0),
+            },
+        );
+    }
+
+    /// Remove and return flows that have completed as of `now`.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        const EPS: f64 = 1e-6;
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= EPS)
+            .map(|(id, _)| *id)
+            .collect();
+        if !done.is_empty() {
+            self.epoch += 1;
+            for id in &done {
+                self.flows.remove(id);
+            }
+        }
+        done
+    }
+
+    /// Forcibly remove a flow (fault injection: its worker died).
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.advance(now);
+        let existed = self.flows.remove(&id).is_some();
+        if existed {
+            self.epoch += 1;
+        }
+        existed
+    }
+
+    /// Earliest time any current flow completes, given the current flow
+    /// set. `None` if idle.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let min_remaining = self
+            .flows
+            .values()
+            .map(|f| f.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if min_remaining.is_infinite() {
+            return None;
+        }
+        let secs = min_remaining / self.rate();
+        Some(now + SimDuration::from_secs_f64(secs.max(0.0)) + SimDuration::from_micros(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_fifo() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(SimTime(100), "b");
+        q.schedule(SimTime(50), "a");
+        q.schedule(SimTime(100), "c");
+        assert_eq!(q.pop().unwrap(), (SimTime(50), "a"));
+        assert_eq!(q.now(), SimTime(50));
+        assert_eq!(q.pop().unwrap(), (SimTime(100), "b"));
+        assert_eq!(q.pop().unwrap(), (SimTime(100), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn single_flow_runs_at_per_flow_cap() {
+        let mut p = FluidPool::new(100.0, 10.0);
+        p.add(SimTime::ZERO, 1, 50.0);
+        assert_eq!(p.rate(), 10.0);
+        let done_at = p.next_completion(SimTime::ZERO).unwrap();
+        // 50 units at 10/s = 5 s
+        assert!((done_at.as_secs_f64() - 5.0).abs() < 1e-3, "{done_at}");
+        assert!(p.take_completed(SimTime::from_secs_f64(4.9)).is_empty());
+        assert_eq!(p.take_completed(done_at), vec![1]);
+    }
+
+    #[test]
+    fn many_flows_share_capacity() {
+        let mut p = FluidPool::new(100.0, 100.0);
+        for i in 0..10 {
+            p.add(SimTime::ZERO, i, 100.0);
+        }
+        // 10 flows share 100/s → 10/s each → 10 s
+        assert_eq!(p.rate(), 10.0);
+        let done = p.next_completion(SimTime::ZERO).unwrap();
+        assert!((done.as_secs_f64() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn flow_departure_speeds_up_remainder() {
+        let mut p = FluidPool::new(100.0, 100.0);
+        p.add(SimTime::ZERO, 1, 100.0);
+        p.add(SimTime::ZERO, 2, 200.0);
+        // both run at 50/s; flow 1 done at t=2
+        let t1 = p.next_completion(SimTime::ZERO).unwrap();
+        assert!((t1.as_secs_f64() - 2.0).abs() < 1e-3);
+        assert_eq!(p.take_completed(t1), vec![1]);
+        // flow 2 has 100 left, now alone at 100/s → done 1 s later
+        let t2 = p.next_completion(t1).unwrap();
+        assert!((t2.as_secs_f64() - 3.0).abs() < 1e-2, "{t2}");
+    }
+
+    #[test]
+    fn epoch_bumps_on_changes() {
+        let mut p = FluidPool::new(10.0, 10.0);
+        let e0 = p.epoch;
+        p.add(SimTime::ZERO, 1, 5.0);
+        assert!(p.epoch > e0);
+        let e1 = p.epoch;
+        p.cancel(SimTime::ZERO, 1);
+        assert!(p.epoch > e1);
+        // cancelling a missing flow does not bump
+        let e2 = p.epoch;
+        assert!(!p.cancel(SimTime::ZERO, 1));
+        assert_eq!(p.epoch, e2);
+    }
+
+    #[test]
+    fn zero_amount_flow_completes_immediately() {
+        let mut p = FluidPool::new(10.0, 10.0);
+        p.add(SimTime::ZERO, 7, 0.0);
+        assert_eq!(p.take_completed(SimTime::ZERO), vec![7]);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_instant() {
+        let mut p = FluidPool::new(10.0, 10.0);
+        p.add(SimTime::ZERO, 1, 100.0);
+        p.advance(SimTime::from_secs_f64(1.0));
+        p.advance(SimTime::from_secs_f64(1.0));
+        // after 1 s at 10/s, 90 remain → completion 9 s later
+        let t = p.next_completion(SimTime::from_secs_f64(1.0)).unwrap();
+        assert!((t.as_secs_f64() - 10.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Per-invocation sandboxes.
+//!
+//! "The worker sets up a sandbox specifically for the invocation" (§3.4
+//! step 3): a private working directory with the invocation's input files
+//! linked in from the cache, destroyed when the result has been returned.
+//! Sandboxes here are virtual (a name plus a link set); the point is the
+//! lifecycle and the pin accounting that keeps linked files from being
+//! evicted mid-run.
+
+use serde::{Deserialize, Serialize};
+use vine_core::ids::ContentHash;
+use vine_core::task::UnitId;
+
+/// A live sandbox for one executing unit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sandbox {
+    pub unit: UnitId,
+    /// Virtual path, e.g. `sandbox/i42`.
+    pub path: String,
+    /// Cache files linked into this sandbox (pinned for its lifetime).
+    pub linked: Vec<ContentHash>,
+}
+
+impl Sandbox {
+    pub fn new(unit: UnitId) -> Sandbox {
+        let path = match unit {
+            UnitId::Task(t) => format!("sandbox/{t}"),
+            UnitId::Call(i) => format!("sandbox/{i}"),
+        };
+        Sandbox {
+            unit,
+            path,
+            linked: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vine_core::ids::{InvocationId, TaskId};
+
+    #[test]
+    fn sandbox_paths_are_unique_per_unit() {
+        let a = Sandbox::new(UnitId::Task(TaskId(1)));
+        let b = Sandbox::new(UnitId::Call(InvocationId(1)));
+        let c = Sandbox::new(UnitId::Call(InvocationId(2)));
+        assert_eq!(a.path, "sandbox/t1");
+        assert_eq!(b.path, "sandbox/i1");
+        assert_ne!(b.path, c.path);
+    }
+}

@@ -1,0 +1,108 @@
+//! Context distribution end to end (§2.2.2, §3.2–3.3): discover a
+//! function's context — code, dependencies, data, setup — package it, and
+//! compare the three broadcast strategies of Fig 3 for getting it to 150
+//! workers.
+//!
+//! ```text
+//! cargo run -p vine-examples --bin broadcast_strategies
+//! ```
+
+use vine_core::ids::WorkerId;
+use vine_core::CostModel;
+use vine_core::SimDuration;
+use vine_env::catalog;
+use vine_lang::inspect;
+use vine_transfer::{plan_broadcast, Topology};
+
+const APP_SOURCE: &str = vine_apps::lnni::LNNI_SOURCE;
+
+fn main() {
+    // -- discover --------------------------------------------------------
+    println!("== discover: the four context elements of `infer` ==");
+    let source = inspect::extract_source(APP_SOURCE, "infer").expect("source recoverable");
+    println!(
+        "1. function code ({} bytes, via source inspection):\n{}",
+        source.len(),
+        source
+            .lines()
+            .map(|l| format!("     {l}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let prog = vine_lang::parse(APP_SOURCE).expect("parses");
+    let imports = inspect::scan_imports(&prog);
+    println!("2. software dependencies (AST import scan): {imports:?}");
+
+    let registry = catalog::standard_registry();
+    let requirements: Vec<vine_env::Requirement> = imports
+        .iter()
+        .map(|m| vine_env::Requirement::any(m.clone()))
+        .collect();
+    let resolution = vine_env::resolve(&registry, &requirements).expect("resolves");
+    let archive = vine_env::pack("lnni-env", &resolution);
+    println!(
+        "   resolved {} packages -> {:.0} MB packed, {:.1} GB unpacked, {} files",
+        archive.package_count(),
+        archive.packed_bytes as f64 / 1e6,
+        archive.unpacked_bytes as f64 / 1e9,
+        archive.file_count,
+    );
+    println!("3. input data: resnet50-params.bin (230 MB, content-addressed)");
+    println!("4. environment setup: context_setup(layers, dim) runs once per library\n");
+
+    // -- distribute ------------------------------------------------------
+    println!("== distribute: broadcasting {:.0} MB to 150 workers (Fig 3) ==",
+        archive.packed_bytes as f64 / 1e6);
+    let workers: Vec<WorkerId> = (0..150).map(WorkerId).collect();
+    let cost = CostModel::paper();
+    let hop =
+        SimDuration::for_transfer(archive.packed_bytes, cost.nic_bytes_per_sec).as_secs_f64();
+    println!("   (one hop over a 10 Gb/s link = {hop:.2} s)\n");
+
+    let clusters = vec![workers[..100].to_vec(), workers[100..].to_vec()];
+    let strategies = [
+        ("(a) star: no worker-to-worker transfers", Topology::Star),
+        (
+            "(b) spanning tree: full peer transfers, cap 3",
+            Topology::FullPeer { fanout_cap: 3 },
+        ),
+        (
+            "(c) clustered: on-premise 100 + cloud 50, cap 3",
+            Topology::Clustered {
+                clusters,
+                fanout_cap: 3,
+            },
+        ),
+    ];
+    for (label, topology) in strategies {
+        let plan = plan_broadcast(&topology, &workers).expect("plans");
+        println!(
+            "   {label}\n      {} transfers, {} serialized rounds (~{:.1} s), {} from the manager",
+            plan.steps.len(),
+            plan.depth(),
+            plan.depth() as f64 * hop,
+            plan.manager_sends(),
+        );
+    }
+
+    // the fan-out ablation (DESIGN.md §5)
+    println!("\n== ablation: spanning-tree fan-out cap ==");
+    for cap in [1usize, 2, 3, 4, 8, usize::MAX / 2] {
+        let plan = plan_broadcast(&Topology::FullPeer { fanout_cap: cap }, &workers).unwrap();
+        let cap_label = if cap > 1000 {
+            "unbounded".to_string()
+        } else {
+            cap.to_string()
+        };
+        println!(
+            "   cap {:>9}: depth {} (~{:.1} s), manager sends {}",
+            cap_label,
+            plan.depth(),
+            plan.depth() as f64 * hop,
+            plan.manager_sends(),
+        );
+    }
+    println!("\nuncapped trees are shallow but sink every holder's uplink at once —");
+    println!("the paper caps per-node transfers at N \"to avoid a sink in the spanning tree\".");
+}

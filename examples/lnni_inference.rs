@@ -1,0 +1,118 @@
+//! LNNI — the paper's large-scale neural network inference application
+//! (§4.1.1), in both of its vine-rs forms:
+//!
+//! 1. **live**: real inference on a real (small) model executed by the
+//!    threaded runtime, demonstrating that invocations reuse the loaded
+//!    model where tasks would rebuild it;
+//! 2. **simulated**: the full 150-worker cluster at a configurable scale,
+//!    comparing L1/L2/L3 execution time (Fig 6a's shape).
+//!
+//! ```text
+//! cargo run --release -p vine-examples --bin lnni_inference [-- scale]
+//! ```
+
+use vine_apps::lnni::{LnniConfig, LnniWorkload, LibraryStrategy, LNNI_SOURCE};
+use vine_apps::modules::full_registry;
+use vine_core::config::ReuseLevel;
+use vine_core::context::{ContextSpec, LibrarySpec, SetupSpec};
+use vine_core::ids::InvocationId;
+use vine_core::resources::Resources;
+use vine_core::task::{FunctionCall, WorkUnit};
+use vine_lang::{pickle, Value};
+use vine_runtime::{decode_result, Runtime, RuntimeConfig};
+use vine_sim::{simulate, SimConfig};
+
+fn live_inference() {
+    println!("== live: ResNet-stand-in inference on the threaded runtime ==");
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        registry: full_registry(),
+        ..Default::default()
+    });
+    let mut spec = LibrarySpec::new("lnni");
+    spec.functions = vec!["infer".into()];
+    spec.resources = Some(Resources::new(2, 2048, 2048));
+    spec.slots = Some(2);
+    spec.context = ContextSpec {
+        setup: Some(SetupSpec {
+            function: "context_setup".into(),
+            args_blob: vec![],
+        }),
+        ..Default::default()
+    };
+    // the model (6 layers × 64 dim) is loaded once per library instance
+    rt.install_library(spec, LNNI_SOURCE, vec![], &[Value::Int(6), Value::Int(64)])
+        .expect("library installs");
+
+    let invocations = 24u64;
+    let per_invocation = 16i64;
+    for i in 0..invocations {
+        let call = FunctionCall::new(
+            InvocationId(i),
+            "lnni",
+            "infer",
+            pickle::serialize_args(&[
+                Value::Int(i as i64 * per_invocation),
+                Value::Int(per_invocation),
+            ])
+            .unwrap(),
+        );
+        rt.submit(WorkUnit::Call(call));
+    }
+    let outcomes = rt.run_until_idle().expect("inference runs");
+    let mut class_counts = std::collections::BTreeMap::new();
+    for o in &outcomes {
+        let Value::List(classes) = decode_result(o).expect("classes") else {
+            panic!("expected list")
+        };
+        for cls in classes.borrow().iter() {
+            *class_counts.entry(cls.as_int().unwrap()).or_insert(0u64) += 1;
+        }
+    }
+    let total: u64 = class_counts.values().sum();
+    println!(
+        "  classified {total} images across {} distinct classes on {} invocations",
+        class_counts.len(),
+        outcomes.len()
+    );
+    rt.shutdown();
+}
+
+fn simulated_cluster(scale: f64) {
+    println!("\n== simulated: LNNI at paper scale × {scale} (Fig 6a) ==");
+    let invocations = ((100_000.0 * scale) as u64).max(100);
+    let mut results = Vec::new();
+    for level in ReuseLevel::ALL {
+        let mut workload = LnniWorkload::new(LnniConfig {
+            invocations,
+            inferences_per_invocation: 16,
+            level,
+            seed: 0x6c6e6e69,
+            library_strategy: LibraryStrategy::PerSlot,
+        });
+        let r = simulate(SimConfig::paper(level, 150), &mut workload);
+        let stats = r.trace.runtime_stats();
+        println!(
+            "  {level}: {} invocations on 150 workers -> {:7.1} s total, {:5.2} s mean invocation runtime",
+            invocations,
+            r.makespan.as_secs_f64(),
+            stats.mean
+        );
+        results.push((level, r.makespan.as_secs_f64()));
+    }
+    let l1 = results[0].1;
+    let l3 = results[2].1;
+    println!(
+        "  L1 -> L3 execution-time reduction: {:.1}% (paper: 94.5% at full scale)",
+        (1.0 - l3 / l1) * 100.0
+    );
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    live_inference();
+    simulated_cluster(scale);
+}

@@ -1,0 +1,102 @@
+//! Quickstart: the paper's Fig 5 code sample, in vine-rs.
+//!
+//! A user breaks a computation into `context_setup` (expensive, reusable)
+//! and `f` (cheap, per-invocation), creates a library for it, installs the
+//! library, and submits invocations that carry only their arguments.
+//!
+//! ```text
+//! cargo run -p vine-examples --bin quickstart
+//! ```
+
+use vine_core::context::{ContextSpec, LibrarySpec, SetupSpec};
+use vine_core::ids::InvocationId;
+use vine_core::resources::Resources;
+use vine_core::task::{FunctionCall, WorkUnit};
+use vine_lang::{pickle, Value};
+use vine_runtime::{decode_result, Runtime, RuntimeConfig};
+
+// The application's functions, in vine-lang. `context_setup` builds state
+// once and publishes it via `global`; `f` reuses it on every invocation
+// (the paper's Fig 4 pattern).
+const FUNCTIONS: &str = r#"
+def context_setup(y) {
+    global lookup_table
+    lookup_table = []
+    for i in range(y) {
+        push(lookup_table, i * i)
+    }
+}
+
+def f(x) {
+    return lookup_table[x] + x
+}
+"#;
+
+fn main() {
+    // manager = vine.Manager(...)          (Fig 5, line 6)
+    let mut manager = Runtime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+
+    // library = manager.create_library_from_functions('lib', f,
+    //     context=context_setup, context_args=[y])   (Fig 5, lines 7-8)
+    let mut library = LibrarySpec::new("lib");
+    library.functions = vec!["f".into()];
+    library.resources = Some(Resources::new(2, 1024, 1024));
+    library.slots = Some(2);
+    library.context = ContextSpec {
+        setup: Some(SetupSpec {
+            function: "context_setup".into(),
+            args_blob: vec![],
+        }),
+        ..Default::default()
+    };
+
+    // manager.install_library(library)     (Fig 5, line 12)
+    manager
+        .install_library(library, FUNCTIONS, vec![], &[Value::Int(1000)])
+        .expect("library installs");
+
+    // for i in range(10):
+    //     invocation = vine.FunctionCall('lib', 'f', args=[i])
+    //     manager.submit(invocation)       (Fig 5, lines 14-16)
+    for i in 0..10i64 {
+        let call = FunctionCall::new(
+            InvocationId(i as u64),
+            "lib",
+            "f",
+            pickle::serialize_args(&[Value::Int(i)]).expect("args serialize"),
+        );
+        manager.submit(WorkUnit::Call(call));
+    }
+
+    let outcomes = manager.run_until_idle().expect("cluster runs");
+    let mut results: Vec<(u64, i64)> = outcomes
+        .iter()
+        .map(|o| {
+            let vine_core::task::UnitId::Call(id) = o.unit else {
+                unreachable!()
+            };
+            let v = decode_result(o).expect("result decodes");
+            (id.0, v.as_int().expect("int result"))
+        })
+        .collect();
+    results.sort_unstable();
+
+    println!("f(x) = lookup_table[x] + x, with the table built ONCE per library:");
+    for (x, y) in &results {
+        assert_eq!(*y, (*x * *x + *x) as i64);
+        println!("  f({x}) = {y}");
+    }
+    println!(
+        "\nlibrary share values (invocations served per deployed context): {:?}",
+        manager
+            .library_share_values()
+            .iter()
+            .map(|(w, s)| format!("{w}:{s}"))
+            .collect::<Vec<_>>()
+    );
+    manager.shutdown();
+    println!("done.");
+}

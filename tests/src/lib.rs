@@ -1,0 +1,16 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use vine_core::config::ReuseLevel;
+use vine_sim::SimResult;
+
+/// Run LNNI in the simulator at a small scale suitable for CI.
+pub fn small_lnni(level: ReuseLevel, invocations: u64, workers: usize) -> SimResult {
+    let mut w = vine_apps::LnniWorkload::new(vine_apps::LnniConfig {
+        invocations,
+        inferences_per_invocation: 16,
+        level,
+        seed: 0xC1,
+        library_strategy: vine_apps::lnni::LibraryStrategy::PerSlot,
+    });
+    vine_sim::simulate(vine_sim::SimConfig::paper(level, workers), &mut w)
+}

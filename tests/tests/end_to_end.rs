@@ -1,0 +1,244 @@
+//! Cross-crate integration: the discover → distribute → retain pipeline
+//! end to end, on both execution substrates.
+
+use integration_tests::small_lnni;
+use vine_core::config::ReuseLevel;
+use vine_core::context::{ContextSpec, LibrarySpec, SetupSpec};
+use vine_core::ids::InvocationId;
+use vine_core::resources::Resources;
+use vine_core::task::{FunctionCall, UnitId, WorkUnit};
+use vine_lang::{inspect, pickle, Value};
+use vine_runtime::{decode_result, Runtime, RuntimeConfig};
+
+/// The full discover pipeline on real application code: extract source,
+/// scan imports, resolve the environment, pack the archive — then boot a
+/// live library from exactly those pieces and execute invocations.
+#[test]
+fn discover_package_execute_pipeline() {
+    let app_src = vine_apps::lnni::LNNI_SOURCE;
+
+    // element 1: function code via inspection
+    let infer_src = inspect::extract_source(app_src, "infer").expect("source form exists");
+    let setup_src =
+        inspect::extract_source(app_src, "context_setup").expect("setup has source");
+
+    // element 2: dependencies via AST scan + resolution + packaging
+    let prog = vine_lang::parse(app_src).unwrap();
+    let imports = inspect::scan_imports(&prog);
+    assert_eq!(imports, vec!["nn".to_string()]);
+    let registry = vine_env::catalog::standard_registry();
+    let reqs: Vec<vine_env::Requirement> = imports
+        .iter()
+        .map(|m| vine_env::Requirement::any(m.clone()))
+        .collect();
+    let resolution = vine_env::resolve(&registry, &reqs).unwrap();
+    let archive = vine_env::pack("pipeline-env", &resolution);
+    assert!(archive.provides("nn"));
+    assert_eq!(archive.package_count(), 144, "the paper's environment");
+
+    // elements 3+4 and execution: boot a library from the discovered
+    // source on a live worker whose module registry has what the archive
+    // provides
+    let mut module_registry = vine_lang::ModuleRegistry::new();
+    assert!(archive.provides("nn"));
+    module_registry.register_native("nn", vine_apps::modules::nn_module);
+
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        registry: module_registry,
+        ..Default::default()
+    });
+    let mut spec = LibrarySpec::new("lnni");
+    spec.functions = vec!["infer".into()];
+    spec.resources = Some(Resources::new(2, 1024, 1024));
+    spec.slots = Some(1);
+    spec.context = ContextSpec {
+        setup: Some(SetupSpec {
+            function: "context_setup".into(),
+            args_blob: vec![],
+        }),
+        ..Default::default()
+    };
+    // ship ONLY the discovered pieces (import line + extracted functions)
+    let shipped_source = format!("import nn\n{setup_src}\n{infer_src}");
+    rt.install_library(
+        spec,
+        &shipped_source,
+        vec![],
+        &[Value::Int(2), Value::Int(16)],
+    )
+    .unwrap();
+
+    let call = FunctionCall::new(
+        InvocationId(1),
+        "lnni",
+        "infer",
+        pickle::serialize_args(&[Value::Int(0), Value::Int(4)]).unwrap(),
+    );
+    rt.submit(WorkUnit::Call(call));
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].success, "{:?}", outcomes[0].error);
+    let Value::List(classes) = decode_result(&outcomes[0]).unwrap() else {
+        panic!("expected classes");
+    };
+    assert_eq!(classes.borrow().len(), 4);
+    rt.shutdown();
+}
+
+/// A function with no source form (built via exec) still ships — the
+/// cloudpickle path end to end.
+#[test]
+fn sourceless_function_ships_serialized() {
+    let mut origin = vine_lang::Interp::new();
+    origin
+        .exec_source(r#"exec("def dynamic_fn(x) { return x * 19 }")"#)
+        .unwrap();
+    // inspection fails: the function never existed in module source
+    assert!(inspect::extract_source("", "dynamic_fn").is_none());
+    // ... so serialize the code object instead
+    let Value::Func(f) = origin.get_global("dynamic_fn").unwrap() else {
+        panic!()
+    };
+    let blob = pickle::serialize_funcdef(&f.def);
+
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut spec = LibrarySpec::new("dyn");
+    spec.functions = vec!["dynamic_fn".into()];
+    spec.resources = Some(Resources::new(1, 256, 256));
+    spec.slots = Some(1);
+    rt.install_library(spec, "", vec![blob], &[]).unwrap();
+    rt.submit(WorkUnit::Call(FunctionCall::new(
+        InvocationId(1),
+        "dyn",
+        "dynamic_fn",
+        pickle::serialize_args(&[Value::Int(3)]).unwrap(),
+    )));
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(decode_result(&outcomes[0]).unwrap(), Value::Int(57));
+    rt.shutdown();
+}
+
+/// The headline invariant on the simulator at a small scale: more context
+/// reuse, less execution time — and all three substrates agree on who
+/// wins.
+#[test]
+fn reuse_ordering_holds_at_small_scale() {
+    let l1 = small_lnni(ReuseLevel::L1, 2_000, 16);
+    let l2 = small_lnni(ReuseLevel::L2, 2_000, 16);
+    let l3 = small_lnni(ReuseLevel::L3, 2_000, 16);
+    assert_eq!(l1.trace.invocations.len(), 2_000);
+    assert_eq!(l2.trace.invocations.len(), 2_000);
+    assert_eq!(l3.trace.invocations.len(), 2_000);
+    let (t1, t2, t3) = (
+        l1.makespan.as_secs_f64(),
+        l2.makespan.as_secs_f64(),
+        l3.makespan.as_secs_f64(),
+    );
+    assert!(t1 > t2 && t2 > t3, "L1 {t1} > L2 {t2} > L3 {t3}");
+    // per-invocation runtimes order the same way (Table 4's shape)
+    let m1 = l1.trace.runtime_stats().mean;
+    let m2 = l2.trace.runtime_stats().mean;
+    let m3 = l3.trace.runtime_stats().mean;
+    assert!(m1 > m2 && m2 > m3, "means {m1} > {m2} > {m3}");
+}
+
+/// The same scheduler brain drives the simulator and the live runtime:
+/// submit identical workloads to both and check structural agreement
+/// (everything completes; libraries are reused, not re-created per call).
+#[test]
+fn sim_and_live_agree_structurally() {
+    // live
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        worker_resources: Resources::new(4, 4096, 4096),
+        ..Default::default()
+    });
+    let mut spec = LibrarySpec::new("m");
+    spec.functions = vec!["f".into()];
+    spec.resources = Some(Resources::new(2, 1024, 1024));
+    spec.slots = Some(1);
+    rt.install_library(spec, "def f(x) { return x + 1 }", vec![], &[])
+        .unwrap();
+    for i in 0..30 {
+        rt.submit(WorkUnit::Call(FunctionCall::new(
+            InvocationId(i),
+            "m",
+            "f",
+            pickle::serialize_args(&[Value::Int(i as i64)]).unwrap(),
+        )));
+    }
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 30);
+    assert!(outcomes.iter().all(|o| o.success));
+    let live_instances = rt.library_share_values().len();
+    let live_served: u64 = rt.library_share_values().iter().map(|(_, s)| s).sum();
+    assert_eq!(live_served, 30);
+    assert!(live_instances <= 4, "2 workers × ≤2 instances");
+    rt.shutdown();
+
+    // sim (same shape: few instances serve many invocations)
+    let r = small_lnni(ReuseLevel::L3, 200, 2);
+    let sim_served: u64 = r.trace.libraries.iter().map(|l| l.served).sum();
+    assert_eq!(sim_served, 200);
+    assert!(r.trace.libraries.len() <= 32);
+}
+
+/// Failure containment across the stack: a poisoned invocation fails, its
+/// successors run, a worker death recovers, and totals still add up.
+#[test]
+fn fault_injection_end_to_end() {
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut spec = LibrarySpec::new("m");
+    spec.functions = vec!["f".into()];
+    spec.resources = Some(Resources::new(1, 512, 512));
+    spec.slots = Some(2);
+    rt.install_library(
+        spec,
+        "def f(x) { if x == 13 { return 1 / 0 }\nreturn x }",
+        vec![],
+        &[],
+    )
+    .unwrap();
+    for i in 0..20 {
+        rt.submit(WorkUnit::Call(FunctionCall::new(
+            InvocationId(i),
+            "m",
+            "f",
+            pickle::serialize_args(&[Value::Int(i as i64)]).unwrap(),
+        )));
+    }
+    rt.kill_worker(vine_core::ids::WorkerId(1));
+    let outcomes = rt.run_until_idle().unwrap();
+    assert_eq!(outcomes.len(), 20);
+    let failures: Vec<_> = outcomes.iter().filter(|o| !o.success).collect();
+    assert_eq!(failures.len(), 1, "exactly the poisoned invocation fails");
+    assert_eq!(failures[0].unit, UnitId::Call(InvocationId(13)));
+    rt.shutdown();
+}
+
+/// Simulator fault tolerance at application scale.
+#[test]
+fn sim_survives_mid_run_worker_loss() {
+    let mut w = vine_apps::LnniWorkload::new(vine_apps::LnniConfig {
+        invocations: 500,
+        inferences_per_invocation: 16,
+        level: ReuseLevel::L3,
+        seed: 3,
+        library_strategy: vine_apps::lnni::LibraryStrategy::PerSlot,
+    });
+    let mut cfg = vine_sim::SimConfig::paper(ReuseLevel::L3, 4);
+    cfg.fail_workers = vec![(45.0, 0), (60.0, 2)];
+    let r = vine_sim::simulate(cfg, &mut w);
+    assert_eq!(
+        r.trace.invocations.len(),
+        500,
+        "all invocations complete despite losing half the cluster"
+    );
+}

@@ -1,0 +1,179 @@
+//! Property-based tests over the substrates' core invariants:
+//! dependency resolution, broadcast planning, and cache accounting.
+
+use proptest::prelude::*;
+use vine_core::ids::{ContentHash, WorkerId};
+use vine_data::WorkerCache;
+use vine_env::{resolve, Constraint, PackageRegistry, PackageSpec, Requirement, Version};
+use vine_transfer::{plan_broadcast, Node, Topology};
+
+// ---- resolver ----
+
+/// A random acyclic package universe: package i may depend only on
+/// packages with larger indices (guaranteed DAG).
+fn arb_registry() -> impl Strategy<Value = (PackageRegistry, usize)> {
+    (2usize..30).prop_flat_map(|n| {
+        let deps = prop::collection::vec(
+            prop::collection::vec(0usize..100, 0..4),
+            n,
+        );
+        deps.prop_map(move |dep_lists| {
+            let mut reg = PackageRegistry::new();
+            for (i, raw) in dep_lists.iter().enumerate() {
+                let deps: Vec<Requirement> = raw
+                    .iter()
+                    .filter_map(|r| {
+                        let target = i + 1 + (r % (n - i));
+                        if target < n {
+                            Some(Requirement::any(format!("pkg{target}")))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                reg.add(
+                    PackageSpec::new(format!("pkg{i}"), Version(1, 0, 0))
+                        .with_deps(deps)
+                        .with_sizes((i as u64 + 1) * 10, (i as u64 + 1) * 40, 5),
+                );
+            }
+            (reg, n)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn resolution_is_topological_and_deduplicated((reg, _n) in arb_registry()) {
+        let res = resolve(&reg, &[Requirement::any("pkg0")]).unwrap();
+        // every dependency precedes its dependent
+        let pos = |name: &str| res.packages.iter().position(|p| p.name == name);
+        for p in &res.packages {
+            let my_pos = pos(&p.name).unwrap();
+            for dep in &p.deps {
+                if let Some(dep_pos) = pos(&dep.name) {
+                    prop_assert!(dep_pos < my_pos, "{} after {}", dep.name, p.name);
+                }
+            }
+        }
+        // no duplicates
+        let mut names: Vec<&str> = res.packages.iter().map(|p| p.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), before);
+        // closure is complete: every dep of an included package is included
+        for p in &res.packages {
+            for dep in &p.deps {
+                prop_assert!(res.contains(&dep.name), "missing {}", dep.name);
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_is_deterministic((reg, _n) in arb_registry()) {
+        let a = resolve(&reg, &[Requirement::any("pkg0")]).unwrap();
+        let b = resolve(&reg, &[Requirement::any("pkg0")]).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn version_constraints_respected(
+        major in 1u32..5,
+        minor in 0u32..5,
+    ) {
+        let mut reg = PackageRegistry::new();
+        for mj in 1..5u32 {
+            for mn in 0..5u32 {
+                reg.add(PackageSpec::new("multi", Version(mj, mn, 0)));
+            }
+        }
+        let want = Version(major, minor, 0);
+        let res = resolve(&reg, &[Requirement::exact("multi", want)]).unwrap();
+        prop_assert_eq!(res.packages[0].version, want);
+        let res = resolve(&reg, &[Requirement::at_least("multi", want)]).unwrap();
+        prop_assert!(Constraint::AtLeast(want).satisfied_by(res.packages[0].version));
+        // the resolver always picks the highest satisfying version
+        prop_assert_eq!(res.packages[0].version, Version(4, 4, 0));
+    }
+
+    // ---- broadcast plans ----
+
+    #[test]
+    fn every_plan_covers_every_worker_exactly_once(
+        n in 1u32..200,
+        cap in 1usize..6,
+        star in any::<bool>(),
+    ) {
+        let workers: Vec<WorkerId> = (0..n).map(WorkerId).collect();
+        let topo = if star {
+            Topology::Star
+        } else {
+            Topology::FullPeer { fanout_cap: cap }
+        };
+        let plan = plan_broadcast(&topo, &workers).unwrap();
+        let mut dests: Vec<WorkerId> = plan.steps.iter().map(|s| s.dest).collect();
+        dests.sort_unstable();
+        prop_assert_eq!(dests, workers.clone());
+        // sources always hold the file before sending
+        let mut have = vec![Node::Manager];
+        for s in &plan.steps {
+            prop_assert!(have.contains(&s.source));
+            have.push(Node::Worker(s.dest));
+        }
+        // dependencies point strictly backwards
+        for (i, s) in plan.steps.iter().enumerate() {
+            if let Some(d) = s.depends_on {
+                prop_assert!(d < i);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_depth_beats_star_beyond_trivial_sizes(n in 8u32..300, cap in 1usize..5) {
+        let workers: Vec<WorkerId> = (0..n).map(WorkerId).collect();
+        let star = plan_broadcast(&Topology::Star, &workers).unwrap();
+        let tree = plan_broadcast(&Topology::FullPeer { fanout_cap: cap }, &workers).unwrap();
+        prop_assert!(tree.depth() < star.depth());
+        // the holder set at least doubles per round (even at cap 1 the
+        // manager keeps serving), and a node's dependency depth never
+        // exceeds its round, so depth ≤ ceil(log2(n+1))
+        let bound = ((n + 1) as f64).log2().ceil() as usize;
+        prop_assert!(tree.depth() <= bound, "depth {} cap {cap} n {n}", tree.depth());
+    }
+
+    // ---- worker cache ----
+
+    #[test]
+    fn cache_never_exceeds_capacity_and_never_loses_pins(
+        capacity in 100u64..10_000,
+        ops in prop::collection::vec((0u64..200, 1u64..400, any::<bool>()), 1..200),
+    ) {
+        let mut cache = WorkerCache::new(capacity);
+        let mut pinned: Vec<ContentHash> = Vec::new();
+        for (key, size, pin) in ops {
+            let h = ContentHash::of_bytes(&key.to_le_bytes());
+            if cache.insert(h, size.min(capacity)).is_ok() {
+                prop_assert!(cache.used() <= cache.capacity());
+                if pin && !pinned.contains(&h) && cache.contains(h) {
+                    cache.pin(h).unwrap();
+                    pinned.push(h);
+                }
+            }
+            // every pinned entry is still resident
+            for p in &pinned {
+                prop_assert!(cache.contains(*p), "pinned entry evicted");
+            }
+        }
+        // unpinning everything makes the whole cache evictable again
+        for p in pinned.drain(..) {
+            cache.unpin(p).unwrap();
+        }
+        let big = ContentHash::of_str("fills-everything");
+        if cache.insert(big, capacity).is_ok() {
+            prop_assert_eq!(cache.used(), capacity);
+        }
+    }
+}
