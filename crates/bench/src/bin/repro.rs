@@ -36,7 +36,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all | <id>...] [--scale S] [--json]\n\
-                     experiments: {}",
+                     experiments: {}\n\
+                     extra: perf (scheduler self-benchmark, writes BENCH_sched.json)",
                     experiments::IDS.join(", ")
                 );
                 return;

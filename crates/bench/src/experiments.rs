@@ -499,6 +499,199 @@ pub fn ablations(scale: f64) -> Table {
     t
 }
 
+/// `perf`: scheduler hot-path self-benchmark (not a paper figure).
+///
+/// Drives the indexed [`vine_manager::Manager`] and the retained
+/// scan-based [`vine_manager::reference::NaiveManager`] through an
+/// identical scheduler-bound workload — hundreds of libraries so the
+/// per-decision library scans dominate, a near-full worker ring so
+/// first-fit walks are long, and install/evict churn once the ring
+/// saturates — and reports wall-clock plus decisions/second for each.
+/// Both must emit the same number of decisions (the differential
+/// property test guarantees the sequences themselves match); results are
+/// also written to `BENCH_sched.json` in the working directory.
+pub fn perf(scale: f64) -> Table {
+    use std::collections::VecDeque;
+    use vine_core::context::{FileRef, LibrarySpec};
+    use vine_core::ids::{ContentHash, FileId, InvocationId, LibraryInstanceId, TaskId, WorkerId};
+    use vine_core::resources::Resources;
+    use vine_core::task::{FunctionCall, TaskSpec, UnitId, WorkUnit};
+    use vine_manager::manager::{Decision, Manager};
+    use vine_manager::reference::NaiveManager;
+
+    const WORKERS: u32 = 1000;
+    const LIBS: usize = 512;
+    let calls = scaled(40_000, scale);
+    let tasks = scaled(8_000, scale);
+
+    /// The subset of the manager API the drive loop needs, so the same
+    /// loop times both implementations.
+    trait Sched {
+        fn register(&mut self, spec: LibrarySpec);
+        fn join(&mut self, id: WorkerId, r: Resources);
+        fn push(&mut self, unit: WorkUnit);
+        fn next(&mut self) -> Option<Decision>;
+        fn ready(&mut self, w: WorkerId, i: LibraryInstanceId);
+        fn done(&mut self, u: UnitId);
+    }
+    macro_rules! impl_sched {
+        ($t:ty) => {
+            impl Sched for $t {
+                fn register(&mut self, spec: LibrarySpec) {
+                    self.register_library(spec);
+                }
+                fn join(&mut self, id: WorkerId, r: Resources) {
+                    self.worker_joined(id, r);
+                }
+                fn push(&mut self, unit: WorkUnit) {
+                    self.submit(unit);
+                }
+                fn next(&mut self) -> Option<Decision> {
+                    self.next_decision()
+                }
+                fn ready(&mut self, w: WorkerId, i: LibraryInstanceId) {
+                    self.library_ready(w, i).expect("install ack");
+                }
+                fn done(&mut self, u: UnitId) {
+                    self.unit_finished(u).expect("finish");
+                }
+            }
+        };
+    }
+    impl_sched!(Manager);
+    impl_sched!(NaiveManager);
+
+    fn lib(i: usize) -> LibrarySpec {
+        let mut spec = LibrarySpec::new(format!("lib{i:03}"));
+        spec.functions = vec!["f".into()];
+        spec.resources = Some(Resources::new(4, 2048, 4));
+        spec.context.environment = Some(FileRef::new(
+            FileId(i as u64),
+            format!("env{i}.tar"),
+            ContentHash::of_str(&format!("env{i}")),
+            64 * 1024,
+        ));
+        spec
+    }
+
+    fn setup<S: Sched>(s: &mut S) {
+        for i in 0..LIBS {
+            s.register(lib(i));
+        }
+        for w in 0..WORKERS {
+            s.join(WorkerId(w), Resources::new(8, 16 * 1024, 64));
+        }
+    }
+
+    fn drive<S: Sched>(s: &mut S, calls: u64, tasks: u64) -> u64 {
+        for i in 0..calls {
+            let mut c = FunctionCall::new(
+                InvocationId(i),
+                format!("lib{:03}", i as usize % LIBS),
+                "f",
+                vec![],
+            );
+            c.resources = Resources::new(1, 512, 1);
+            s.push(WorkUnit::Call(c));
+        }
+        for i in 0..tasks {
+            let mut t = TaskSpec::new(TaskId(i), format!("t{}", i % 17));
+            t.resources = Resources::new(2, 1024, 1);
+            t.inputs.push(FileRef::new(
+                FileId(10_000 + i % 64),
+                format!("in{}", i % 64),
+                ContentHash::of_str(&format!("in{}", i % 64)),
+                64 * 1024,
+            ));
+            s.push(WorkUnit::Task(t));
+        }
+        let mut running: VecDeque<UnitId> = VecDeque::new();
+        let mut decisions = 0u64;
+        loop {
+            while let Some(d) = s.next() {
+                decisions += 1;
+                match d {
+                    Decision::InstallLibrary {
+                        worker, instance, ..
+                    } => s.ready(worker, instance),
+                    Decision::DispatchCall { call, .. } => {
+                        running.push_back(UnitId::Call(call.id));
+                    }
+                    Decision::DispatchTask { task, .. } => {
+                        running.push_back(UnitId::Task(task.id));
+                    }
+                    Decision::EvictLibrary { .. } | Decision::Fail { .. } => {}
+                }
+            }
+            if running.is_empty() {
+                break;
+            }
+            // complete the older half to free slots for the next wave
+            for _ in 0..(running.len() / 2).max(1) {
+                let u = running.pop_front().expect("non-empty");
+                s.done(u);
+            }
+        }
+        decisions
+    }
+
+    let mut naive = NaiveManager::new();
+    setup(&mut naive);
+    let started = std::time::Instant::now();
+    let naive_decisions = drive(&mut naive, calls, tasks);
+    let naive_s = started.elapsed().as_secs_f64();
+
+    let mut indexed = Manager::new();
+    setup(&mut indexed);
+    let started = std::time::Instant::now();
+    let indexed_decisions = drive(&mut indexed, calls, tasks);
+    let indexed_s = started.elapsed().as_secs_f64();
+
+    assert_eq!(
+        naive_decisions, indexed_decisions,
+        "decision streams diverged"
+    );
+
+    let speedup = naive_s / indexed_s;
+    let mut t = Table::new(
+        "perf",
+        "Scheduler hot-path throughput: indexed vs naive manager",
+        &["wall_s", "decisions", "decisions_per_sec"],
+    );
+    t.row(
+        "naive (linear scans)",
+        vec![naive_s, naive_decisions as f64, naive_decisions as f64 / naive_s],
+    );
+    t.row(
+        "indexed",
+        vec![
+            indexed_s,
+            indexed_decisions as f64,
+            indexed_decisions as f64 / indexed_s,
+        ],
+    );
+    t.row("speedup", vec![speedup, 0.0, 0.0]);
+    t.note(format!(
+        "{WORKERS} workers, {LIBS} libraries, {calls} calls + {tasks} tasks; \
+         wall-clock, varies run to run"
+    ));
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sched_hot_path\",\n  \"workers\": {WORKERS},\n  \
+         \"libraries\": {LIBS},\n  \"calls\": {calls},\n  \"tasks\": {tasks},\n  \
+         \"naive\": {{ \"wall_s\": {naive_s:.6}, \"decisions\": {naive_decisions}, \
+         \"decisions_per_sec\": {:.1} }},\n  \
+         \"indexed\": {{ \"wall_s\": {indexed_s:.6}, \"decisions\": {indexed_decisions}, \
+         \"decisions_per_sec\": {:.1} }},\n  \"speedup\": {speedup:.2}\n}}\n",
+        naive_decisions as f64 / naive_s,
+        indexed_decisions as f64 / indexed_s,
+    );
+    if let Err(e) = std::fs::write("BENCH_sched.json", json) {
+        eprintln!("warning: could not write BENCH_sched.json: {e}");
+    }
+    t
+}
+
 /// All experiments in paper order.
 pub fn all(scale: f64) -> Vec<Table> {
     vec![
@@ -538,6 +731,9 @@ pub fn by_id(id: &str, scale: f64) -> Option<Table> {
         "fig11" => fig11(scale),
         "table5" => table5(),
         "ablations" => ablations(scale),
+        // self-benchmark, not a paper figure; excluded from `all` so the
+        // paper reproduction stays deterministic
+        "perf" => perf(scale),
         _ => return None,
     })
 }

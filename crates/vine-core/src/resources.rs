@@ -86,17 +86,17 @@ impl Resources {
     /// allocation (e.g. 32-core worker / 2-core LNNI invocation = 16 slots).
     pub fn divide_by(&self, unit: &Resources) -> u32 {
         let mut n = u32::MAX;
-        if unit.cores > 0 {
-            n = n.min(self.cores / unit.cores);
+        if let Some(q) = self.cores.checked_div(unit.cores) {
+            n = n.min(q);
         }
-        if unit.memory_mb > 0 {
-            n = n.min((self.memory_mb / unit.memory_mb) as u32);
+        if let Some(q) = self.memory_mb.checked_div(unit.memory_mb) {
+            n = n.min(q as u32);
         }
-        if unit.disk_mb > 0 {
-            n = n.min((self.disk_mb / unit.disk_mb) as u32);
+        if let Some(q) = self.disk_mb.checked_div(unit.disk_mb) {
+            n = n.min(q as u32);
         }
-        if unit.gpus > 0 {
-            n = n.min(self.gpus / unit.gpus);
+        if let Some(q) = self.gpus.checked_div(unit.gpus) {
+            n = n.min(q);
         }
         if n == u32::MAX {
             // zero-sized unit: infinitely many fit; callers treat 0-resource

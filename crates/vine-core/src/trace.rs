@@ -222,7 +222,7 @@ impl Trace {
             let active = self
                 .libraries
                 .iter()
-                .filter(|l| l.deployed <= t && l.removed.map_or(true, |r| r > t))
+                .filter(|l| l.deployed <= t && l.removed.is_none_or(|r| r > t))
                 .count();
             points.push((n, active as f64));
             n += step;

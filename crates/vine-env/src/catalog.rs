@@ -52,6 +52,7 @@ fn weight(i: usize) -> u64 {
 /// dep `i` depends on deps `2i+1` and `2i+2` (a binary tree, guaranteeing
 /// acyclicity). Package sizes are fixed up so closure totals hit the
 /// targets exactly.
+#[allow(clippy::too_many_arguments)]
 fn add_stack(
     reg: &mut PackageRegistry,
     root: &str,
@@ -77,10 +78,10 @@ fn add_stack(
     let mut unpacked_used = 0u64;
     let mut files_used = 0u64;
 
-    for i in 0..dep_count {
-        let packed = (packed_total - root_packed) * weights[i] / wsum;
-        let unpacked = (unpacked_total - root_unpacked) * weights[i] / wsum;
-        let files = ((file_total - root_files) * weights[i] / wsum).max(1);
+    for (i, &wt) in weights.iter().enumerate() {
+        let packed = (packed_total - root_packed) * wt / wsum;
+        let unpacked = (unpacked_total - root_unpacked) * wt / wsum;
+        let files = ((file_total - root_files) * wt / wsum).max(1);
         packed_used += packed;
         unpacked_used += unpacked;
         files_used += files;

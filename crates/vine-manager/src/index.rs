@@ -1,0 +1,238 @@
+//! Incremental placement indexes over the worker ring.
+//!
+//! The scheduler's placement rule (§3.5.2) is "walk the hash ring from the
+//! key's point and take the first worker that fits". Done literally that is
+//! an O(workers) scan per decision — the dominant cost at paper scale once
+//! the cluster fills up. [`FitIndex`] answers the same query in O(log n):
+//!
+//! * a segment tree over the ring-ordered workers stores the component-wise
+//!   **maximum** of each subtree's available [`Resources`]. A subtree whose
+//!   maximum cannot fit the request contains no fitting worker, so whole
+//!   ring arcs are pruned at once; descending left-first yields exactly the
+//!   first fitting worker in walk order.
+//! * a sorted set of *fully free* workers (available == total) answers the
+//!   whole-worker-library query ("first completely idle worker from this
+//!   point"), which cannot be phrased against a single request vector
+//!   because each worker's own total is the request.
+//!
+//! Both structures are maintained by the [`crate::Manager`] at every point
+//! a worker's availability changes; membership changes rebuild in O(n)
+//! (worker joins/leaves are rare next to scheduling decisions).
+
+use std::collections::{BTreeMap, BTreeSet};
+use vine_core::ids::WorkerId;
+use vine_core::resources::Resources;
+
+/// First-fit-by-ring-order index. Leaves mirror [`crate::HashRing::points`].
+#[derive(Debug, Default)]
+pub struct FitIndex {
+    /// Ring-ordered (point, worker) leaves, identical to the ring's points.
+    leaves: Vec<(u64, WorkerId)>,
+    pos: BTreeMap<WorkerId, usize>,
+    /// Available resources per leaf.
+    avail: Vec<Resources>,
+    /// Segment tree of component-wise maxima (1-indexed, recursive layout).
+    tree: Vec<Resources>,
+    /// Fully free workers (available == total) in ring order.
+    free: BTreeSet<(u64, WorkerId)>,
+}
+
+impl FitIndex {
+    pub fn new() -> FitIndex {
+        FitIndex::default()
+    }
+
+    /// Rebuild from the ring's point list; `lookup` returns each worker's
+    /// (available, total).
+    pub fn rebuild(
+        &mut self,
+        points: &[(u64, WorkerId)],
+        mut lookup: impl FnMut(WorkerId) -> (Resources, Resources),
+    ) {
+        self.leaves = points.to_vec();
+        self.pos = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, (_, w))| (*w, i))
+            .collect();
+        self.avail = Vec::with_capacity(self.leaves.len());
+        self.free.clear();
+        for &(p, w) in &self.leaves {
+            let (avail, total) = lookup(w);
+            if avail == total {
+                self.free.insert((p, w));
+            }
+            self.avail.push(avail);
+        }
+        let n = self.leaves.len();
+        self.tree = vec![Resources::ZERO; 4 * n.max(1)];
+        if n > 0 {
+            self.build(1, 0, n);
+        }
+    }
+
+    fn build(&mut self, node: usize, nl: usize, nr: usize) {
+        if nr - nl == 1 {
+            self.tree[node] = self.avail[nl];
+            return;
+        }
+        let mid = (nl + nr) / 2;
+        self.build(2 * node, nl, mid);
+        self.build(2 * node + 1, mid, nr);
+        self.tree[node] = self.tree[2 * node].max(&self.tree[2 * node + 1]);
+    }
+
+    /// A worker's availability changed.
+    pub fn update(&mut self, worker: WorkerId, avail: Resources, total: Resources) {
+        let Some(&i) = self.pos.get(&worker) else {
+            return;
+        };
+        self.avail[i] = avail;
+        let pair = self.leaves[i];
+        if avail == total {
+            self.free.insert(pair);
+        } else {
+            self.free.remove(&pair);
+        }
+        self.point_update(1, 0, self.leaves.len(), i);
+    }
+
+    fn point_update(&mut self, node: usize, nl: usize, nr: usize, i: usize) {
+        if nr - nl == 1 {
+            self.tree[node] = self.avail[nl];
+            return;
+        }
+        let mid = (nl + nr) / 2;
+        if i < mid {
+            self.point_update(2 * node, nl, mid, i);
+        } else {
+            self.point_update(2 * node + 1, mid, nr, i);
+        }
+        self.tree[node] = self.tree[2 * node].max(&self.tree[2 * node + 1]);
+    }
+
+    /// First worker in ring order from leaf `start` (wrapping) whose
+    /// available resources fit `want` — identical to
+    /// `ring.walk(key).find(|w| avail[w].can_fit(want))`.
+    pub fn first_fit(&self, start: usize, want: &Resources) -> Option<WorkerId> {
+        let n = self.leaves.len();
+        if n == 0 {
+            return None;
+        }
+        let start = start % n;
+        self.range_first(1, 0, n, start, n, want)
+            .or_else(|| self.range_first(1, 0, n, 0, start, want))
+            .map(|i| self.leaves[i].1)
+    }
+
+    fn range_first(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        l: usize,
+        r: usize,
+        want: &Resources,
+    ) -> Option<usize> {
+        if r <= nl || nr <= l || !self.tree[node].can_fit(want) {
+            return None;
+        }
+        if nr - nl == 1 {
+            return Some(nl);
+        }
+        let mid = (nl + nr) / 2;
+        self.range_first(2 * node, nl, mid, l, r, want)
+            .or_else(|| self.range_first(2 * node + 1, mid, nr, l, r, want))
+    }
+
+    /// First *fully free* worker in ring order from leaf `start`, wrapping —
+    /// the whole-worker-library placement query.
+    pub fn first_free(&self, start: usize) -> Option<WorkerId> {
+        let n = self.leaves.len();
+        if n == 0 {
+            return None;
+        }
+        let from = self.leaves[start % n];
+        self.free
+            .range(from..)
+            .next()
+            .or_else(|| self.free.range(..from).next())
+            .map(|&(_, w)| w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: u32) -> Vec<(u64, WorkerId)> {
+        // arbitrary distinct points; sorted as the ring keeps them
+        let mut v: Vec<(u64, WorkerId)> = (0..n)
+            .map(|i| (u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15), WorkerId(i)))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn first_fit_matches_linear_scan() {
+        let pts = points(13);
+        let mut avail: BTreeMap<WorkerId, Resources> = BTreeMap::new();
+        for (i, (_, w)) in pts.iter().enumerate() {
+            avail.insert(*w, Resources::new(i as u32 % 5, 1024 * (i as u64 % 3), 4096));
+        }
+        let total = Resources::new(8, 4096, 4096);
+        let mut idx = FitIndex::new();
+        idx.rebuild(&pts, |w| (avail[&w], total));
+        let want = Resources::new(2, 1024, 0);
+        for start in 0..pts.len() {
+            let linear = (0..pts.len())
+                .map(|k| pts[(start + k) % pts.len()].1)
+                .find(|w| avail[w].can_fit(&want));
+            assert_eq!(idx.first_fit(start, &want), linear, "start {start}");
+        }
+    }
+
+    #[test]
+    fn update_moves_workers_in_and_out_of_free_set() {
+        let pts = points(4);
+        let total = Resources::new(4, 100, 100);
+        let mut idx = FitIndex::new();
+        idx.rebuild(&pts, |_| (total, total));
+        // everyone free: the first from any start is that leaf itself
+        for s in 0..4 {
+            assert_eq!(idx.first_free(s), Some(pts[s].1));
+        }
+        // occupy leaf 1
+        idx.update(pts[1].1, Resources::new(1, 50, 50), total);
+        assert_eq!(idx.first_free(1), Some(pts[2].1));
+        assert_eq!(idx.first_fit(1, &Resources::new(4, 0, 0)), Some(pts[2].1));
+        assert_eq!(idx.first_fit(1, &Resources::new(1, 10, 10)), Some(pts[1].1));
+        // release it again
+        idx.update(pts[1].1, total, total);
+        assert_eq!(idx.first_free(1), Some(pts[1].1));
+    }
+
+    #[test]
+    fn empty_index_finds_nothing() {
+        let idx = FitIndex::new();
+        assert_eq!(idx.first_fit(0, &Resources::ZERO), None);
+        assert_eq!(idx.first_free(0), None);
+    }
+
+    #[test]
+    fn max_bound_prunes_but_leaf_check_is_exact() {
+        // component-wise max across two workers can fit a request neither
+        // worker fits alone — the descent must reject both at the leaves
+        let pts = points(2);
+        let mut idx = FitIndex::new();
+        let a = Resources::new(8, 0, 0);
+        let b = Resources::new(0, 8192, 0);
+        let total = Resources::new(8, 8192, 0);
+        let avail = BTreeMap::from([(pts[0].1, a), (pts[1].1, b)]);
+        idx.rebuild(&pts, |w| (avail[&w], total));
+        assert_eq!(idx.first_fit(0, &Resources::new(8, 8192, 0)), None);
+        assert_eq!(idx.first_fit(0, &Resources::new(8, 0, 0)), Some(pts[0].1));
+    }
+}

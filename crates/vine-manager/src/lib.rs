@@ -19,7 +19,9 @@
 //! their bookkeeping immediately; the execution substrate (simulator or
 //! live runtime) attaches time and I/O and feeds back completion events.
 
+pub mod index;
 pub mod manager;
+pub mod reference;
 pub mod ring;
 
 pub use manager::{Decision, Manager, Placement};

@@ -1,9 +1,33 @@
 //! The manager state machine.
+//!
+//! Scheduling is driven by [`Manager::next_decision`], which at paper scale
+//! is called hundreds of thousands of times per run — once per decision
+//! *and* once per wake that finds nothing to do. Every query it makes is
+//! therefore backed by an incrementally-maintained index instead of a scan:
+//!
+//! * `unknown_pending` — libraries with queued calls but no registered
+//!   spec (step 1, fail-fast);
+//! * `dispatchable` — libraries with queued calls *and* a ready instance
+//!   with a free slot (step 2);
+//! * `demand_over` — libraries whose queue length exceeds their promised
+//!   slot supply (steps 4 and 5);
+//! * [`crate::index::FitIndex`] — first-fit worker lookup in ring order
+//!   (steps 3 and 4), replacing the O(workers) ring walk;
+//! * `file_holders` — reverse content-hash → workers index, so the
+//!   substrate's peer-source selection does not scan every worker cache.
+//!
+//! All indexes are derived state: `reindex_lib` recomputes a library's
+//! membership from the ground-truth maps whenever one of its inputs
+//! changes, so decision *order* is bit-identical to the retained
+//! scan-based reference in [`crate::reference`] (property-tested in
+//! `tests/differential.rs`).
 
+use crate::index::FitIndex;
 use crate::ring::HashRing;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 use vine_core::context::{FileRef, LibrarySpec};
-use vine_core::ids::{LibraryInstanceId, WorkerId};
+use vine_core::ids::{ContentHash, LibraryInstanceId, WorkerId};
 use vine_core::resources::Resources;
 use vine_core::task::{FunctionCall, TaskSpec, UnitId, WorkUnit};
 use vine_core::{Result, VineError};
@@ -22,11 +46,13 @@ pub struct Placement {
 pub enum Decision {
     /// Stage `missing` files to `worker`, then boot a library instance and
     /// run its context setup. The instance is `Starting` until the
-    /// substrate reports [`Manager::library_ready`].
+    /// substrate reports [`Manager::library_ready`]. The spec is shared
+    /// (specs carry the whole context file list; installs must not deep-
+    /// clone it).
     InstallLibrary {
         worker: WorkerId,
         instance: LibraryInstanceId,
-        spec: LibrarySpec,
+        spec: Arc<LibrarySpec>,
         missing: Vec<FileRef>,
     },
     /// Remove an empty library to reclaim resources for another library's
@@ -43,7 +69,9 @@ pub enum Decision {
         call: FunctionCall,
     },
     /// Send a stateless task to a worker, staging `missing` cacheable
-    /// inputs first.
+    /// inputs first. Entries whose staging failed worker-side (cache full)
+    /// are flagged `cache: false` — the file still moves, but into the
+    /// sandbox only.
     DispatchTask {
         worker: WorkerId,
         task: TaskSpec,
@@ -58,11 +86,16 @@ type SlotIndex = BTreeMap<String, BTreeMap<(WorkerId, LibraryInstanceId), u32>>;
 
 /// The manager.
 pub struct Manager {
-    specs: BTreeMap<String, LibrarySpec>,
+    specs: BTreeMap<String, Arc<LibrarySpec>>,
     pub workers: BTreeMap<WorkerId, WorkerState>,
     ring: HashRing,
+    /// First-fit worker lookup mirroring `ring` (kept in sync with every
+    /// change to a worker's `available`).
+    fit: FitIndex,
     queue_tasks: VecDeque<TaskSpec>,
     queue_calls: BTreeMap<String, VecDeque<FunctionCall>>,
+    /// Total calls across `queue_calls` (so `pending` is O(1)).
+    queued_calls: usize,
     running: BTreeMap<UnitId, Placement>,
     /// Ready instances with free slots, per library.
     ready_slots: SlotIndex,
@@ -74,6 +107,16 @@ pub struct Manager {
     next_instance: u64,
     /// Completed units (telemetry).
     pub completed: u64,
+    /// Libraries with queued calls and no registered spec.
+    unknown_pending: BTreeSet<String>,
+    /// Libraries with queued calls and a ready free slot.
+    dispatchable: BTreeSet<String>,
+    /// Libraries with queued calls exceeding promised supply.
+    demand_over: BTreeSet<String>,
+    /// Workers that ever staged each file. Superset of current holders
+    /// (caches evict internally); [`Manager::holders_of`] verifies against
+    /// the actual cache.
+    file_holders: BTreeMap<ContentHash, BTreeSet<WorkerId>>,
 }
 
 impl Default for Manager {
@@ -88,24 +131,77 @@ impl Manager {
             specs: BTreeMap::new(),
             workers: BTreeMap::new(),
             ring: HashRing::new(),
+            fit: FitIndex::new(),
             queue_tasks: VecDeque::new(),
             queue_calls: BTreeMap::new(),
+            queued_calls: 0,
             running: BTreeMap::new(),
             ready_slots: BTreeMap::new(),
             pending_supply: BTreeMap::new(),
             instance_owner: BTreeMap::new(),
             next_instance: 0,
             completed: 0,
+            unknown_pending: BTreeSet::new(),
+            dispatchable: BTreeSet::new(),
+            demand_over: BTreeSet::new(),
+            file_holders: BTreeMap::new(),
         }
     }
 
     /// Register a library template (`manager.install_library` in Fig 5).
     pub fn register_library(&mut self, spec: LibrarySpec) {
-        self.specs.insert(spec.name.clone(), spec);
+        let name = spec.name.clone();
+        self.specs.insert(name.clone(), Arc::new(spec));
+        self.reindex_lib(&name);
     }
 
     pub fn library_spec(&self, name: &str) -> Option<&LibrarySpec> {
-        self.specs.get(name)
+        self.specs.get(name).map(|s| s.as_ref())
+    }
+
+    // ---- index maintenance ----
+
+    /// Recompute `name`'s membership in the scheduling indexes from the
+    /// ground-truth maps. Called whenever its queue, spec, slots, or
+    /// supply change.
+    fn reindex_lib(&mut self, name: &str) {
+        let qlen = self.queue_calls.get(name).map_or(0, |q| q.len());
+        let known = self.specs.contains_key(name);
+        let has_slot = self.ready_slots.get(name).is_some_and(|m| !m.is_empty());
+        let supply = self.pending_supply.get(name).copied().unwrap_or(0);
+        Self::set_membership(&mut self.unknown_pending, name, qlen > 0 && !known);
+        Self::set_membership(&mut self.dispatchable, name, qlen > 0 && has_slot);
+        Self::set_membership(
+            &mut self.demand_over,
+            name,
+            qlen > 0 && known && (qlen as i64) > supply,
+        );
+    }
+
+    fn set_membership(set: &mut BTreeSet<String>, name: &str, member: bool) {
+        if member {
+            if !set.contains(name) {
+                set.insert(name.to_string());
+            }
+        } else {
+            set.remove(name);
+        }
+    }
+
+    /// A worker's availability changed; refresh the first-fit index.
+    fn refresh_fit(&mut self, worker: WorkerId) {
+        if let Some(ws) = self.workers.get(&worker) {
+            self.fit.update(worker, ws.available, ws.total);
+        }
+    }
+
+    /// Ring membership changed; rebuild the first-fit index.
+    fn rebuild_fit(&mut self) {
+        let workers = &self.workers;
+        self.fit.rebuild(self.ring.points(), |w| {
+            let ws = &workers[&w];
+            (ws.available, ws.total)
+        });
     }
 
     // ---- membership ----
@@ -113,6 +209,7 @@ impl Manager {
     pub fn worker_joined(&mut self, id: WorkerId, resources: Resources) {
         self.workers.insert(id, WorkerState::new(id, resources));
         self.ring.add(id);
+        self.rebuild_fit();
     }
 
     /// A worker died or disconnected. Its running units are requeued (at
@@ -121,22 +218,32 @@ impl Manager {
     pub fn worker_left(&mut self, id: WorkerId) -> Vec<UnitId> {
         self.ring.remove(id);
         let Some(state) = self.workers.remove(&id) else {
+            self.rebuild_fit();
             return Vec::new();
         };
         // drop instance bookkeeping
+        let mut touched: Vec<String> = Vec::new();
         for (iid, inst) in &state.libraries {
             self.instance_owner.remove(iid);
-            self.ready_slots
-                .get_mut(&inst.spec.name)
-                .map(|m| m.remove(&(id, *iid)));
+            if let Some(m) = self.ready_slots.get_mut(&inst.spec.name) {
+                m.remove(&(id, *iid));
+            }
+            // Starting instances count all their slots as free, so this
+            // reclaims exactly what the install promised
             let supply = self.pending_supply.entry(inst.spec.name.clone()).or_insert(0);
-            *supply -= i64::from(inst.free_slots())
-                + if inst.state == vine_worker::LibState::Starting {
-                    0 // Starting instances counted all slots as free below
-                } else {
-                    0
-                };
+            *supply -= i64::from(inst.free_slots());
+            touched.push(inst.spec.name.clone());
         }
+        for name in touched {
+            self.reindex_lib(&name);
+        }
+        // the holders index never resurrects a dead worker (holders_of
+        // verifies liveness anyway, but keep the sets tight)
+        self.file_holders.retain(|_, ws| {
+            ws.remove(&id);
+            !ws.is_empty()
+        });
+        self.rebuild_fit();
         // requeue its running units
         let lost: Vec<UnitId> = self
             .running
@@ -154,16 +261,33 @@ impl Manager {
         self.workers.len()
     }
 
+    /// Workers currently holding `hash` in cache, ascending by id — backed
+    /// by the reverse file index, verified against the live cache (workers
+    /// evict internally, so the index alone is a superset).
+    pub fn holders_of(&self, hash: ContentHash) -> impl Iterator<Item = WorkerId> + '_ {
+        self.file_holders
+            .get(&hash)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |w| {
+                self.workers
+                    .get(w)
+                    .is_some_and(|ws| ws.cache.contains(hash))
+            })
+    }
+
     // ---- submission ----
 
     pub fn submit(&mut self, unit: WorkUnit) {
         match unit {
             WorkUnit::Task(t) => self.queue_tasks.push_back(t),
-            WorkUnit::Call(c) => self
-                .queue_calls
-                .entry(c.library.clone())
-                .or_default()
-                .push_back(c),
+            WorkUnit::Call(c) => {
+                let lib = c.library.clone();
+                self.queue_calls.entry(lib.clone()).or_default().push_back(c);
+                self.queued_calls += 1;
+                self.reindex_lib(&lib);
+            }
         }
     }
 
@@ -171,24 +295,23 @@ impl Manager {
     pub fn requeue(&mut self, unit: WorkUnit) {
         match unit {
             WorkUnit::Task(t) => self.queue_tasks.push_front(t),
-            WorkUnit::Call(c) => self
-                .queue_calls
-                .entry(c.library.clone())
-                .or_default()
-                .push_front(c),
+            WorkUnit::Call(c) => {
+                let lib = c.library.clone();
+                self.queue_calls.entry(lib.clone()).or_default().push_front(c);
+                self.queued_calls += 1;
+                self.reindex_lib(&lib);
+            }
         }
     }
 
     /// Units waiting + running (drives the paper's scale-dependent manager
     /// bookkeeping cost).
     pub fn pending(&self) -> usize {
-        self.queue_tasks.len()
-            + self.queue_calls.values().map(|q| q.len()).sum::<usize>()
-            + self.running.len()
+        self.queue_tasks.len() + self.queued_calls + self.running.len()
     }
 
     pub fn queued(&self) -> usize {
-        self.queue_tasks.len() + self.queue_calls.values().map(|q| q.len()).sum::<usize>()
+        self.queue_tasks.len() + self.queued_calls
     }
 
     pub fn running_count(&self) -> usize {
@@ -225,12 +348,10 @@ impl Manager {
     }
 
     fn fail_unknown_library(&mut self) -> Option<Decision> {
-        let lib = self
-            .queue_calls
-            .iter()
-            .find(|(lib, q)| !q.is_empty() && !self.specs.contains_key(*lib))
-            .map(|(lib, _)| lib.clone())?;
+        let lib = self.unknown_pending.first()?.clone();
         let call = self.queue_calls.get_mut(&lib).unwrap().pop_front().unwrap();
+        self.queued_calls -= 1;
+        self.reindex_lib(&lib);
         Some(Decision::Fail {
             unit: UnitId::Call(call.id),
             error: format!("unknown library: {lib}"),
@@ -238,19 +359,14 @@ impl Manager {
     }
 
     fn dispatch_call(&mut self) -> Option<Decision> {
-        // pick the first library (BTreeMap order: deterministic) with both
-        // queued calls and a free slot
-        let (lib_name, key) = self.ready_slots.iter().find_map(|(name, slots)| {
-            let has_queue = self
-                .queue_calls
-                .get(name)
-                .map_or(false, |q| !q.is_empty());
-            if has_queue {
-                slots.keys().next().map(|k| (name.clone(), *k))
-            } else {
-                None
-            }
-        })?;
+        // the first library (BTreeSet order: deterministic, same as the
+        // name-ordered scan it replaces) with both queued calls and a free
+        // slot
+        let lib_name = self.dispatchable.first()?.clone();
+        let key = *self.ready_slots[&lib_name]
+            .keys()
+            .next()
+            .expect("dispatchable index promised a free slot");
         let (worker, instance) = key;
         let call = self
             .queue_calls
@@ -258,12 +374,14 @@ impl Manager {
             .unwrap()
             .pop_front()
             .unwrap();
+        self.queued_calls -= 1;
 
         let w = self.workers.get_mut(&worker).expect("indexed worker exists");
         w.begin_call(instance, &call)
             .expect("slot index promised a free slot");
         self.consume_slot(&lib_name, worker, instance);
-        *self.pending_supply.entry(lib_name).or_insert(0) -= 1;
+        *self.pending_supply.entry(lib_name.clone()).or_insert(0) -= 1;
+        self.reindex_lib(&lib_name);
         self.running.insert(
             UnitId::Call(call.id),
             Placement {
@@ -281,25 +399,35 @@ impl Manager {
     fn dispatch_task(&mut self) -> Option<Decision> {
         let task = self.queue_tasks.front()?;
         let worker = self
-            .ring
-            .walk(&task.name)
-            .find(|w| self.workers[w].available.can_fit(&task.resources))?;
+            .fit
+            .first_fit(self.ring.start_index(&task.name), &task.resources)?;
         let task = self.queue_tasks.pop_front().unwrap();
         let w = self.workers.get_mut(&worker).unwrap();
         // stage cacheable inputs into the view-cache optimistically: the
         // decision's `missing` list is what the substrate must move
-        let missing: Vec<FileRef> = task
+        let mut missing: Vec<FileRef> = task
             .inputs
             .iter()
             .filter(|f| f.cache && !w.cache.contains(f.hash))
             .cloned()
             .collect();
-        for f in &missing {
+        let mut arrived: Vec<ContentHash> = Vec::new();
+        for f in &mut missing {
             if w.file_arrived(f.hash, f.materialized_bytes()).is_err() {
-                // cache thrashing: treat as uncacheable this round
+                // cache thrashing: the worker cannot hold this file, so the
+                // staged copy goes straight into the sandbox — mark it
+                // uncacheable in the decision so the substrate (and any
+                // retry) does not keep treating it as a future cache hit
+                f.cache = false;
+            } else {
+                arrived.push(f.hash);
             }
         }
         w.begin_task(&task).expect("resources were checked");
+        for h in arrived {
+            self.file_holders.entry(h).or_default().insert(worker);
+        }
+        self.refresh_fit(worker);
         self.running.insert(
             UnitId::Task(task.id),
             Placement {
@@ -315,19 +443,12 @@ impl Manager {
     }
 
     fn demand_exceeding_supply(&self) -> Option<String> {
-        self.queue_calls.iter().find_map(|(name, q)| {
-            let supply = self.pending_supply.get(name).copied().unwrap_or(0);
-            if !q.is_empty() && (q.len() as i64) > supply && self.specs.contains_key(name) {
-                Some(name.clone())
-            } else {
-                None
-            }
-        })
+        self.demand_over.first().cloned()
     }
 
     fn install_library(&mut self) -> Option<Decision> {
         let lib_name = self.demand_exceeding_supply()?;
-        let spec = self.specs[&lib_name].clone();
+        let spec = Arc::clone(&self.specs[&lib_name]);
         let per_invocation = self.queue_calls[&lib_name]
             .front()
             .map(|c| c.resources)
@@ -335,11 +456,11 @@ impl Manager {
 
         // whole-worker libraries (spec.resources == None) need a fully
         // free worker; sized libraries need their allocation to fit
-        let worker = self.ring.walk(&lib_name).find(|w| {
-            let ws = &self.workers[w];
-            let want = spec.resources.unwrap_or(ws.total);
-            ws.available.can_fit(&want)
-        })?;
+        let start = self.ring.start_index(&lib_name);
+        let worker = match spec.resources {
+            Some(r) => self.fit.first_fit(start, &r),
+            None => self.fit.first_free(start),
+        }?;
 
         let instance = LibraryInstanceId(self.next_instance);
         self.next_instance += 1;
@@ -351,15 +472,30 @@ impl Manager {
             .filter(|f| !w.cache.contains(f.hash))
             .cloned()
             .collect();
+        let mut arrived: Vec<ContentHash> = Vec::new();
+        let mut staged_ok = true;
         for f in spec.context.files() {
-            w.file_arrived(f.hash, f.materialized_bytes()).ok()?;
+            if w.file_arrived(f.hash, f.materialized_bytes()).is_err() {
+                staged_ok = false;
+                break;
+            }
+            arrived.push(f.hash);
         }
+        for h in arrived {
+            self.file_holders.entry(h).or_default().insert(worker);
+        }
+        if !staged_ok {
+            return None;
+        }
+        let w = self.workers.get_mut(&worker).unwrap();
         let inst = w
-            .install_library(instance, spec.clone(), &per_invocation)
+            .install_library(instance, Arc::clone(&spec), &per_invocation)
             .ok()?;
         let slots = inst.slots;
+        self.refresh_fit(worker);
         self.instance_owner.insert(instance, worker);
-        *self.pending_supply.entry(lib_name).or_insert(0) += i64::from(slots);
+        *self.pending_supply.entry(lib_name.clone()).or_insert(0) += i64::from(slots);
+        self.reindex_lib(&lib_name);
         Some(Decision::InstallLibrary {
             worker,
             instance,
@@ -428,14 +564,14 @@ impl Manager {
             .get_mut(&worker)
             .ok_or_else(|| VineError::Protocol(format!("no worker {worker}")))?;
         let inst = w.remove_library(instance)?;
+        let name = inst.spec.name.clone();
+        self.refresh_fit(worker);
         self.instance_owner.remove(&instance);
-        self.ready_slots
-            .get_mut(&inst.spec.name)
-            .map(|m| m.remove(&(worker, instance)));
-        *self
-            .pending_supply
-            .entry(inst.spec.name.clone())
-            .or_insert(0) -= i64::from(inst.free_slots());
+        if let Some(m) = self.ready_slots.get_mut(&name) {
+            m.remove(&(worker, instance));
+        }
+        *self.pending_supply.entry(name.clone()).or_insert(0) -= i64::from(inst.free_slots());
+        self.reindex_lib(&name);
         Ok(inst)
     }
 
@@ -457,9 +593,10 @@ impl Manager {
         let name = inst.spec.name.clone();
         let slots = inst.slots;
         self.ready_slots
-            .entry(name)
+            .entry(name.clone())
             .or_default()
             .insert((worker, instance), slots);
+        self.reindex_lib(&name);
         Ok(())
     }
 
@@ -495,10 +632,12 @@ impl Manager {
                 w.finish_call(lib, id)?;
                 let name = w.libraries[&lib].spec.name.clone();
                 self.return_slot(&name, placement.worker, lib);
-                *self.pending_supply.entry(name).or_insert(0) += 1;
+                *self.pending_supply.entry(name.clone()).or_insert(0) += 1;
+                self.reindex_lib(&name);
             }
             (UnitId::Task(id), _) => {
                 w.finish_task(id)?;
+                self.refresh_fit(placement.worker);
             }
             (UnitId::Call(id), None) => {
                 return Err(VineError::Internal(format!(
@@ -874,5 +1013,54 @@ mod tests {
         let served: u64 = m.instances().map(|(_, l)| l.served).sum();
         assert_eq!(served, m.completed);
         assert!(m.instances().count() >= 1);
+    }
+
+    #[test]
+    fn staging_failure_marks_file_uncacheable() {
+        // worker whose disk (= cache capacity) is 1 MB: a 2 MB input can
+        // never be cached, but the task itself fits
+        let mut m = Manager::new();
+        m.worker_joined(WorkerId(0), Resources::new(32, 64 * 1024, 1));
+        let mut t = TaskSpec::new(TaskId(1), "big-input");
+        t.resources = Resources::new(1, 1024, 0);
+        t.inputs = vec![FileRef::new(
+            FileId(9),
+            "blob",
+            ContentHash::of_str("blob"),
+            2 * 1024 * 1024,
+        )];
+        assert!(t.inputs[0].cache, "input starts cacheable");
+        m.submit(WorkUnit::Task(t));
+        match m.next_decision().unwrap() {
+            Decision::DispatchTask { worker, missing, .. } => {
+                assert_eq!(missing.len(), 1, "the blob must still be staged");
+                assert!(
+                    !missing[0].cache,
+                    "staging failure must mark the file uncacheable"
+                );
+                assert!(
+                    !m.workers[&worker].cache.contains(missing[0].hash),
+                    "the cache rejected it"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn holders_index_tracks_staged_files() {
+        let mut m = manager_with_workers(2);
+        let mut t = TaskSpec::new(TaskId(1), "wrapped-f");
+        t.resources = Resources::lnni_invocation();
+        let hash = ContentHash::of_str("data");
+        t.inputs = vec![FileRef::new(FileId(5), "data", hash, 100)];
+        m.submit(WorkUnit::Task(t));
+        let Some(Decision::DispatchTask { worker, .. }) = m.next_decision() else {
+            panic!()
+        };
+        assert_eq!(m.holders_of(hash).collect::<Vec<_>>(), vec![worker]);
+        // removing the worker removes it from the index
+        m.worker_left(worker);
+        assert_eq!(m.holders_of(hash).count(), 0);
     }
 }

@@ -50,15 +50,27 @@ impl HashRing {
         self.points.is_empty()
     }
 
-    /// All workers in ring order, starting at the first point ≥
-    /// `key_point(key)` and wrapping around — the §3.5.2 sequential check.
-    pub fn walk(&self, key: &str) -> impl Iterator<Item = WorkerId> + '_ {
-        let start = match self
+    /// The sorted (point, worker) pairs — the ring order that
+    /// [`HashRing::walk`] traverses. Indexes built over the ring (e.g. the
+    /// manager's first-fit index) mirror this slice.
+    pub fn points(&self) -> &[(u64, WorkerId)] {
+        &self.points
+    }
+
+    /// Index into [`HashRing::points`] where the search for `key` begins.
+    pub fn start_index(&self, key: &str) -> usize {
+        match self
             .points
             .binary_search_by(|(p, _)| p.cmp(&key_point(key)))
         {
             Ok(i) | Err(i) => i % self.points.len().max(1),
-        };
+        }
+    }
+
+    /// All workers in ring order, starting at the first point ≥
+    /// `key_point(key)` and wrapping around — the §3.5.2 sequential check.
+    pub fn walk(&self, key: &str) -> impl Iterator<Item = WorkerId> + '_ {
+        let start = self.start_index(key);
         self.points
             .iter()
             .cycle()

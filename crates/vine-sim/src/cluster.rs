@@ -74,7 +74,7 @@ pub fn assign_gflops(groups: &[MachineGroup], n: usize, seed: u64) -> Vec<f64> {
         ri += 1;
     }
     for (g, c) in groups.iter().zip(&counts) {
-        out.extend(std::iter::repeat(g.gflops_per_core).take(*c));
+        out.extend(std::iter::repeat_n(g.gflops_per_core, *c));
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x636c7573);
     out.shuffle(&mut rng);

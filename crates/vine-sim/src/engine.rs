@@ -87,6 +87,11 @@ impl<E> EventQueue<E> {
         Some((s.at, s.event))
     }
 
+    /// Time of the next event without popping (the clock does not move).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -102,9 +107,26 @@ pub type FlowId = u64;
 #[derive(Debug, Clone)]
 struct Flow {
     remaining: f64,
+    /// Original transfer size (scales the completion tolerance).
+    amount: f64,
 }
 
 /// A processor-shared fluid resource.
+///
+/// Progress is tracked eagerly: each advance decrements every active
+/// flow's `remaining` by the shared service delivered over the interval.
+///
+/// A virtual-service-accumulator variant (one shared scalar advanced in
+/// O(1), flows stored as fixed finish levels in an ordered map) was
+/// evaluated and rejected: it computes the same real-number values, but
+/// with different f64 rounding than this per-flow fold, and completion
+/// instants are quantized to whole microseconds — the ~1e-8-unit rounding
+/// difference is enough to flip a `.round()` boundary, shifting events by
+/// 1 µs and cascading into different (though equally valid) schedules.
+/// Reproducibility of recorded experiment baselines is worth more here
+/// than O(1) advance: a pool's flow count is bounded by one device's
+/// concurrency, so the eager loop is short, while the decision-path
+/// indexes (see `vine-manager`) carry the asymptotic load.
 #[derive(Debug)]
 pub struct FluidPool {
     /// Aggregate capacity (bytes/s, ops/s, ...).
@@ -117,6 +139,13 @@ pub struct FluidPool {
     /// they were computed under and are ignored if stale.
     pub epoch: u64,
 }
+
+/// Absolute completion slack, in transfer units (legacy constant).
+const EPS_ABS: f64 = 1e-6;
+/// Relative completion slack: amounts are bytes, so a multi-GB flow sits
+/// numerically far from any absolute epsilon (ulp of 1e10 is already
+/// ~2e-6) — the tolerance must scale with the flow size.
+const EPS_REL: f64 = 1e-9;
 
 impl FluidPool {
     pub fn new(capacity: f64, per_flow_cap: f64) -> FluidPool {
@@ -152,6 +181,12 @@ impl FluidPool {
         self.last_advance = now;
     }
 
+    /// A flow's completion tolerance: absolute floor plus a term
+    /// proportional to its size.
+    fn eps(amount: f64) -> f64 {
+        EPS_ABS + EPS_REL * amount
+    }
+
     /// Add a flow of `amount` units. Caller must then reschedule via
     /// [`FluidPool::next_completion`].
     pub fn add(&mut self, now: SimTime, id: FlowId, amount: f64) {
@@ -161,18 +196,19 @@ impl FluidPool {
             id,
             Flow {
                 remaining: amount.max(0.0),
+                amount: amount.max(0.0),
             },
         );
     }
 
-    /// Remove and return flows that have completed as of `now`.
+    /// Remove and return flows that have completed as of `now`, ascending
+    /// by id.
     pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
         self.advance(now);
-        const EPS: f64 = 1e-6;
         let done: Vec<FlowId> = self
             .flows
             .iter()
-            .filter(|(_, f)| f.remaining <= EPS)
+            .filter(|(_, f)| f.remaining <= Self::eps(f.amount))
             .map(|(id, _)| *id)
             .collect();
         if !done.is_empty() {
@@ -296,5 +332,66 @@ mod tests {
         // after 1 s at 10/s, 90 remain → completion 9 s later
         let t = p.next_completion(SimTime::from_secs_f64(1.0)).unwrap();
         assert!((t.as_secs_f64() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn peek_time_does_not_advance_clock() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime(70), "x");
+        q.schedule(SimTime(30), "y");
+        assert_eq!(q.peek_time(), Some(SimTime(30)));
+        assert_eq!(q.now(), SimTime::ZERO, "peek must not move the clock");
+        assert_eq!(q.pop().unwrap(), (SimTime(30), "y"));
+        assert_eq!(q.peek_time(), Some(SimTime(70)));
+    }
+
+    #[test]
+    fn gb_scale_flow_completes_despite_float_rounding() {
+        // regression for the absolute-only EPS = 1e-6: amounts are bytes,
+        // so a multi-GB flow sits numerically far from 1e-6 — f64 rounding
+        // in the rate × dt products alone can leave a few bytes "remaining"
+        // at the modeled finish instant and stall the flow one reschedule
+        // short of done. The tolerance must scale with the flow size.
+        // 1e6 B/s makes one microsecond of service equal one byte, so the
+        // shortfall below is representable in integer sim-time.
+        let mut p = FluidPool::new(1e6, 1e6);
+        p.add(SimTime::ZERO, 1, 10e9);
+        // stop 5 bytes short of the finish: far beyond the absolute 1e-6
+        // tolerance, but within the size-relative one (10 bytes for 10 GB)
+        let shy = SimTime::from_secs_f64((10e9 - 5.0) / 1e6);
+        assert_eq!(p.take_completed(shy), vec![1]);
+
+        // a genuine 1 MB shortfall must still count as in-flight
+        let mut p = FluidPool::new(1e6, 1e6);
+        p.add(SimTime::ZERO, 2, 10e9);
+        let far = SimTime::from_secs_f64((10e9 - 1e6) / 1e6);
+        assert!(p.take_completed(far).is_empty());
+        assert_eq!(p.active(), 1);
+    }
+
+    #[test]
+    fn pool_reuse_after_drain() {
+        let mut p = FluidPool::new(10.0, 10.0);
+        p.add(SimTime::ZERO, 1, 50.0);
+        let t1 = p.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(p.take_completed(t1), vec![1]);
+        // a fresh flow after the pool drained behaves exactly like one in
+        // a brand-new pool
+        p.add(t1, 2, 30.0);
+        let t2 = p.next_completion(t1).unwrap();
+        assert!((t2.since(t1).as_secs_f64() - 3.0).abs() < 1e-3, "{t2}");
+        assert_eq!(p.take_completed(t2), vec![2]);
+    }
+
+    #[test]
+    fn completed_ids_come_back_sorted() {
+        let mut p = FluidPool::new(100.0, 100.0);
+        // insert in scrambled order; completions report ascending by id
+        for id in [9, 3, 7, 1] {
+            p.add(SimTime::ZERO, id, 100.0);
+        }
+        let t = p.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(p.take_completed(t), vec![1, 3, 7, 9]);
     }
 }

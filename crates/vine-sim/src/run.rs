@@ -337,20 +337,41 @@ impl<'w> Driver<'w> {
         }
     }
 
-    /// One manager service cycle: take a decision, charge its cost, realize
-    /// it when the manager is done processing.
+    /// One manager service cycle: drain as many decisions as can be taken
+    /// before any other event fires, charging each decision's cost
+    /// cumulatively (first from `t`, then from the previous completion).
+    ///
+    /// This replaces the one-decision-per-wake cadence (decide → schedule a
+    /// `MgrWake` at `mgr_free_at` → pop it → decide again), which pushed one
+    /// heap event per decision. The batched loop produces the *same* decision
+    /// sequence at the *same* modeled times: a follow-up wake at `mgr_free_at`
+    /// could only observe different manager state if some other event with
+    /// time ≤ `mgr_free_at` were processed first (wake events were scheduled
+    /// last, so any event `realize` enqueued at exactly `mgr_free_at` has a
+    /// smaller sequence number and ran before the wake). Hence we keep
+    /// draining while the queue holds nothing at or before `mgr_free_at`,
+    /// and otherwise defer to the event loop exactly as the old wake did.
     fn mgr_step(&mut self, t: SimTime) {
         if t < self.mgr_free_at {
             self.wake_mgr(self.mgr_free_at);
             return;
         }
-        let Some(d) = self.mgr.next_decision() else {
-            return; // idle until the next state-changing event
-        };
-        let cost = self.decision_cost(&d);
-        self.mgr_free_at = t + cost;
-        self.realize(d, self.mgr_free_at);
-        self.wake_mgr(self.mgr_free_at);
+        loop {
+            let Some(d) = self.mgr.next_decision() else {
+                return; // idle until the next state-changing event
+            };
+            let cost = self.decision_cost(&d);
+            self.mgr_free_at = self.mgr_free_at.max(t) + cost;
+            self.realize(d, self.mgr_free_at);
+            if self
+                .q
+                .peek_time()
+                .is_some_and(|next| next <= self.mgr_free_at)
+            {
+                self.wake_mgr(self.mgr_free_at);
+                return;
+            }
+        }
     }
 
     fn decision_cost(&self, d: &Decision) -> SimDuration {
@@ -656,20 +677,30 @@ impl<'w> Driver<'w> {
     /// Pick the uplink pool to stage `missing` from: a peer that holds all
     /// the files (when peer transfer is on), preferring the least-loaded
     /// uplink; otherwise the manager.
+    ///
+    /// Candidate peers come from the manager's content-hash → holders index:
+    /// only workers caching the first file are walked (ascending id, the same
+    /// order the old full-cluster scan visited them, so the strict-less
+    /// tie-break picks an identical winner), and each is verified against the
+    /// remaining hashes.
     fn pick_source(&self, dest: WorkerId, missing: &[vine_core::context::FileRef]) -> PoolKey {
         if !self.cfg.peer_transfer {
             return MANAGER_UPLINK;
         }
         let hashes: Vec<ContentHash> = missing.iter().map(|f| f.hash).collect();
+        let Some((first, rest)) = hashes.split_first() else {
+            return MANAGER_UPLINK;
+        };
         let mut best: Option<(usize, PoolKey)> = None;
-        for (wid, ws) in &self.mgr.workers {
-            if *wid == dest {
+        for wid in self.mgr.holders_of(*first) {
+            if wid == dest {
                 continue;
             }
-            if hashes.iter().all(|h| ws.cache.contains(*h)) {
-                let key = uplink_of_worker(*wid);
+            let ws = &self.mgr.workers[&wid];
+            if rest.iter().all(|h| ws.cache.contains(*h)) {
+                let key = uplink_of_worker(wid);
                 let load = self.pools[&key].active();
-                if best.map_or(true, |(l, _)| load < l) {
+                if best.is_none_or(|(l, _)| load < l) {
                     best = Some((load, key));
                 }
             }

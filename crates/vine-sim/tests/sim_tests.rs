@@ -1,7 +1,7 @@
 //! End-to-end simulator tests on a small synthetic workload.
 
 use vine_core::config::ReuseLevel;
-use vine_core::context::{ContextSpec, FileRef, FileSource, LibrarySpec};
+use vine_core::context::{ContextSpec, FileRef, LibrarySpec};
 use vine_core::ids::{ContentHash, FileId, InvocationId, TaskId};
 use vine_core::resources::Resources;
 use vine_core::task::{FunctionCall, TaskSpec, UnitId, WorkProfile, WorkUnit};

@@ -7,6 +7,7 @@
 //! slots, and a share counter (its Fig 11 "share value").
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use vine_core::context::LibrarySpec;
 use vine_core::ids::{InvocationId, LibraryInstanceId};
 use vine_core::resources::Resources;
@@ -27,7 +28,10 @@ pub enum LibState {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LibraryInstance {
     pub id: LibraryInstanceId,
-    pub spec: LibrarySpec,
+    /// Shared with the manager's registry and every sibling instance —
+    /// specs carry the full context file list, so they are refcounted
+    /// rather than deep-cloned per install.
+    pub spec: Arc<LibrarySpec>,
     pub state: LibState,
     /// Resources this instance owns on its worker.
     pub resources: Resources,
@@ -42,7 +46,7 @@ pub struct LibraryInstance {
 impl LibraryInstance {
     pub fn new(
         id: LibraryInstanceId,
-        spec: LibrarySpec,
+        spec: Arc<LibrarySpec>,
         resources: Resources,
         slots: u32,
     ) -> LibraryInstance {
@@ -120,7 +124,7 @@ mod tests {
         spec.functions = vec!["infer".into()];
         let mut inst = LibraryInstance::new(
             LibraryInstanceId(1),
-            spec,
+            Arc::new(spec),
             Resources::new(32, 65536, 65536),
             slots,
         );
@@ -191,7 +195,7 @@ mod tests {
     fn zero_slot_spec_clamps_to_one() {
         let l = LibraryInstance::new(
             LibraryInstanceId(2),
-            LibrarySpec::new("x"),
+            Arc::new(LibrarySpec::new("x")),
             Resources::ZERO,
             0,
         );

@@ -3,6 +3,7 @@
 use crate::library::{LibState, LibraryInstance};
 use crate::sandbox::Sandbox;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use vine_core::context::LibrarySpec;
 use vine_core::ids::{ContentHash, InvocationId, LibraryInstanceId, WorkerId};
 use vine_core::resources::Resources;
@@ -92,7 +93,7 @@ impl WorkerState {
     pub fn install_library(
         &mut self,
         id: LibraryInstanceId,
-        spec: LibrarySpec,
+        spec: Arc<LibrarySpec>,
         per_invocation: &Resources,
     ) -> Result<&LibraryInstance> {
         let resources = spec.resources.unwrap_or(self.total);
@@ -316,7 +317,7 @@ mod tests {
         w.file_arrived(file(1, 1000).hash, 1000).unwrap();
         w.file_arrived(file(2, 500).hash, 500).unwrap();
         let id = LibraryInstanceId(1);
-        w.install_library(id, lnni_spec(true), &Resources::lnni_invocation())
+        w.install_library(id, Arc::new(lnni_spec(true)), &Resources::lnni_invocation())
             .unwrap();
         w.library_ready(id).unwrap();
         (w, id)
@@ -356,7 +357,8 @@ mod tests {
         let mut w = WorkerState::paper(WorkerId(0));
         let mut spec = lnni_spec(false);
         spec.resources = Some(Resources::new(20, 1024, 1024));
-        w.install_library(LibraryInstanceId(1), spec.clone(), &Resources::new(1, 1, 1))
+        let spec = Arc::new(spec);
+        w.install_library(LibraryInstanceId(1), Arc::clone(&spec), &Resources::new(1, 1, 1))
             .unwrap();
         // second 20-core library does not fit in the remaining 12 cores
         let e = w
@@ -366,7 +368,7 @@ mod tests {
         // but a small one does
         let mut small = lnni_spec(false);
         small.resources = Some(Resources::new(4, 1024, 1024));
-        w.install_library(LibraryInstanceId(3), small, &Resources::new(1, 1, 1))
+        w.install_library(LibraryInstanceId(3), Arc::new(small), &Resources::new(1, 1, 1))
             .unwrap();
     }
 
@@ -390,7 +392,7 @@ mod tests {
         let e = w
             .install_library(
                 LibraryInstanceId(1),
-                lnni_spec(true),
+                Arc::new(lnni_spec(true)),
                 &Resources::lnni_invocation(),
             )
             .unwrap_err();
@@ -403,7 +405,7 @@ mod tests {
     fn dispatch_to_unready_library_fails() {
         let mut w = WorkerState::paper(WorkerId(0));
         let id = LibraryInstanceId(1);
-        w.install_library(id, lnni_spec(false), &Resources::lnni_invocation())
+        w.install_library(id, Arc::new(lnni_spec(false)), &Resources::lnni_invocation())
             .unwrap();
         assert!(w.begin_call(id, &call(1)).is_err(), "still Starting");
         assert!(w.find_library_for("lnni", "infer").is_none());
@@ -469,7 +471,8 @@ mod tests {
         spec.slots = Some(2);
         let a = LibraryInstanceId(1);
         let b = LibraryInstanceId(2);
-        w.install_library(a, spec.clone(), &Resources::new(2, 2048, 2048))
+        let spec = Arc::new(spec);
+        w.install_library(a, Arc::clone(&spec), &Resources::new(2, 2048, 2048))
             .unwrap();
         w.install_library(b, spec, &Resources::new(2, 2048, 2048))
             .unwrap();

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full verification pass: release build, whole-workspace tests, and
+# clippy (warnings denied) on the crates with index/scheduler hot paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy -p vine-manager -p vine-sim -- -D warnings

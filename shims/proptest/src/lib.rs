@@ -1,0 +1,853 @@
+//! Offline stand-in for `proptest`: generation-only property testing with
+//! the same surface this workspace uses (`proptest!`, `prop_oneof!`,
+//! `prop_assert*!`, `Strategy` combinators, `prop::collection`,
+//! `prop::num::f64`, `prop::option`, regex-subset string strategies).
+//!
+//! Differences from the real crate, deliberately accepted:
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message and deterministic case index) but is not minimized.
+//! * **Deterministic seeding.** Streams derive from the test's file/line,
+//!   so every run explores the same cases — there is no OS entropy in this
+//!   container anyway, and reproducibility is what the differential tests
+//!   need.
+//! * String strategies accept the regex subset `[class]{m,n}` / literals /
+//!   `? * +` only, which covers every pattern in this repository.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// The RNG handed to strategies. Concrete so `Strategy` stays dyn-safe.
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A source of values of one type. Generation-only: `gen_value` draws a
+    /// fresh sample; there is no shrink tree.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            R: Into<String>,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Bounded recursion: after `depth` expansions the strategy bottoms
+        /// out at the original leaves. `desired_size` and `expected_branch`
+        /// are accepted for signature parity but the depth bound alone
+        /// controls generation here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // lean toward leaves so sizes stay moderate
+                strat = Union::weighted(vec![(2, leaf.clone()), (1, recurse(strat).boxed())])
+                    .boxed();
+            }
+            strat
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy (the handle `prop_recursive`
+    /// passes to its closure).
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.gen_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted 1000 attempts: {}", self.reason);
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// Weighted choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Union::weighted(arms.into_iter().map(|s| (1, s)).collect())
+        }
+
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0u32..self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.gen_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Regex-subset string strategy: a `&'static str` pattern made of
+    /// literal chars, `[...]` classes (with ranges and `\`-escapes), and
+    /// `{m}` / `{m,n}` / `?` / `*` / `+` repetition.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let pieces = super::pattern::parse(self);
+            super::pattern::generate(&pieces, rng)
+        }
+    }
+}
+
+mod pattern {
+    use super::{Rng, TestRng};
+
+    pub struct Piece {
+        /// Inclusive char ranges the piece may draw from.
+        pub options: Vec<(char, char)>,
+        pub min: usize,
+        pub max: usize,
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let options = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut opts = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        // range like a-z (a trailing '-' is a literal)
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = if chars[i + 2] == '\\' {
+                                i += 1;
+                                chars[i + 2]
+                            } else {
+                                chars[i + 2]
+                            };
+                            opts.push((lo, hi));
+                            i += 3;
+                        } else {
+                            opts.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated [class] in pattern {pattern}");
+                    i += 1; // past ']'
+                    opts
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    vec![(c, c)]
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            // repetition suffix
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {rep}")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let k = body.trim().parse().expect("bad {m}");
+                        (k, k)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '?' || chars[i] == '*' || chars[i] == '+') {
+                let suffix = chars[i];
+                i += 1;
+                match suffix {
+                    '?' => (0, 1),
+                    '*' => (0, 8),
+                    _ => (1, 8),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { options, min, max });
+        }
+        pieces
+    }
+
+    pub fn generate(pieces: &[Piece], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            let weight: u64 = piece
+                .options
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            for _ in 0..count {
+                let mut pick = rng.gen_range(0..weight);
+                for (lo, hi) in &piece.options {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).expect("char range"));
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::{Rng, RngCore, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary_value(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Finite floats across many magnitudes (uniform bit patterns are
+        /// almost all astronomically large; this matches proptest's spirit
+        /// of exercising varied exponents).
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            let mantissa: f64 = 1.0 + rng.gen::<f64>();
+            let exp = rng.gen_range(-200i32..200);
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * mantissa * (exp as f64).exp2()
+        }
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::{Rng, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Collection size specification: a half-open range or an exact count.
+    #[derive(Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.0.clone());
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_range(self.size.0.clone());
+            let mut map = BTreeMap::new();
+            // duplicate keys shrink the result, like the real crate's
+            // size range being a maximum under collisions
+            for _ in 0..target {
+                map.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::{Rng, RngCore, TestRng};
+
+        #[derive(Clone, Copy)]
+        pub struct FloatStrategy {
+            positive_only: bool,
+        }
+
+        /// Finite, normal (non-sub-normal, non-NaN) floats of either sign.
+        pub const NORMAL: FloatStrategy = FloatStrategy {
+            positive_only: false,
+        };
+
+        /// Strictly positive finite floats.
+        pub const POSITIVE: FloatStrategy = FloatStrategy {
+            positive_only: true,
+        };
+
+        impl Strategy for FloatStrategy {
+            type Value = f64;
+            fn gen_value(&self, rng: &mut TestRng) -> f64 {
+                let mantissa: f64 = 1.0 + rng.gen::<f64>(); // [1, 2)
+                let exp = rng.gen_range(-300i32..300);
+                let magnitude = mantissa * (exp as f64).exp2();
+                if !self.positive_only && rng.next_u64() & 1 == 1 {
+                    -magnitude
+                } else {
+                    magnitude
+                }
+            }
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{BoxedStrategy, Strategy};
+    use super::{RngCore, TestRng};
+
+    pub struct OptionStrategy<T>(BoxedStrategy<T>);
+
+    pub fn of<S: Strategy + 'static>(inner: S) -> OptionStrategy<S::Value> {
+        OptionStrategy(inner.boxed())
+    }
+
+    impl<T> Strategy for OptionStrategy<T> {
+        type Value = Option<T>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            // bias toward Some, like the real crate's default
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.0.gen_value(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::TestRng;
+
+    /// A property rejected by a `prop_assert*!` macro.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    fn fnv(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `cases` deterministic cases. The seed derives from the test's
+    /// source location so each property explores its own stream and the
+    /// same stream every run (reproducible by construction — report the
+    /// case index on failure and it can be re-run directly).
+    pub fn run<F>(config: ProptestConfig, file: &str, line: u32, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv(file.as_bytes()) ^ (line as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for i in 0..config.cases {
+            let mut rng = TestRng::from_seed(base ^ ((i as u64) << 32 | 0x7072_6f70));
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "proptest property `{name}` failed at case {i}/{} ({file}:{line}): {}",
+                    config.cases, e.message
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the real prelude's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+    }
+}
+
+/// Define property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ($($strat,)+);
+                $crate::test_runner::run(
+                    $config,
+                    file!(),
+                    line!(),
+                    stringify!($name),
+                    |__rng| {
+                        let ($($pat,)+) =
+                            $crate::strategy::Strategy::gen_value(&__strategies, __rng);
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Uniform (or the real crate's weighted — weights unsupported here)
+/// choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = crate::TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z_][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_', "{s:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_class_members_appear() {
+        let mut rng = crate::TestRng::from_seed(3);
+        let mut saw_dash = false;
+        let mut saw_dot = false;
+        for _ in 0..500 {
+            let s = Strategy::gen_value(&"[a\\-\\.]{1,4}", &mut rng);
+            saw_dash |= s.contains('-');
+            saw_dot |= s.contains('.');
+            assert!(s.chars().all(|c| c == 'a' || c == '-' || c == '.'), "{s:?}");
+        }
+        assert!(saw_dash && saw_dot);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            #[allow(dead_code)] // constructed by the strategy, read via Debug
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..100).prop_map(Tree::Leaf).prop_recursive(3, 32, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::from_seed(7);
+        for _ in 0..200 {
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 3, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn float_strategies_respect_class() {
+        let mut rng = crate::TestRng::from_seed(9);
+        for _ in 0..500 {
+            let x = prop::num::f64::NORMAL.gen_value(&mut rng);
+            assert!(x.is_finite() && x.is_normal(), "{x}");
+            let p = prop::num::f64::POSITIVE.gen_value(&mut rng);
+            assert!(p > 0.0 && p.is_finite(), "{p}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_multiple_vars(a in 0i64..100, b in -50i64..50) {
+            prop_assert!(a >= 0);
+            prop_assert!((-50..50).contains(&b));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn tuple_and_filter_compose(
+            (x, y) in (0u32..10, 0u32..10).prop_filter("distinct", |(x, y)| x != y),
+        ) {
+            prop_assert_ne!(x, y);
+        }
+    }
+}

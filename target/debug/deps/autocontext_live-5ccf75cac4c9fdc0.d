@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autocontext_live-5ccf75cac4c9fdc0.d: tests/tests/autocontext_live.rs
+
+/root/repo/target/debug/deps/autocontext_live-5ccf75cac4c9fdc0: tests/tests/autocontext_live.rs
+
+tests/tests/autocontext_live.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broadcast_strategies-7fdbf697cf4614bb.d: examples/broadcast_strategies.rs
+
+/root/repo/target/debug/deps/broadcast_strategies-7fdbf697cf4614bb: examples/broadcast_strategies.rs
+
+examples/broadcast_strategies.rs:

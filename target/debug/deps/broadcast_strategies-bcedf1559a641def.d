@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broadcast_strategies-bcedf1559a641def.d: examples/broadcast_strategies.rs
+
+/root/repo/target/debug/deps/broadcast_strategies-bcedf1559a641def: examples/broadcast_strategies.rs
+
+examples/broadcast_strategies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-0d4834ccbfd3ecb8.d: crates/vine-manager/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-0d4834ccbfd3ecb8: crates/vine-manager/tests/differential.rs
+
+crates/vine-manager/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-a1533de37f69b65b.d: crates/vine-manager/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-a1533de37f69b65b.rmeta: crates/vine-manager/tests/differential.rs Cargo.toml
+
+crates/vine-manager/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/examol_design-779fefe18e443b84.d: examples/examol_design.rs
+
+/root/repo/target/debug/deps/examol_design-779fefe18e443b84: examples/examol_design.rs
+
+examples/examol_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/examol_design-878f7728659f5add.d: examples/examol_design.rs
+
+/root/repo/target/debug/deps/examol_design-878f7728659f5add: examples/examol_design.rs
+
+examples/examol_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_tests-6a7cf8f02efc8fe9.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/integration_tests-6a7cf8f02efc8fe9: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_tests-7d03f9fa7cad96d3.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-7d03f9fa7cad96d3.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-7d03f9fa7cad96d3.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_tests-8a17ade66fe3e7c9.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-8a17ade66fe3e7c9.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-8a17ade66fe3e7c9.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_cluster-75e7571caf91332e.d: crates/vine-runtime/tests/live_cluster.rs
+
+/root/repo/target/debug/deps/live_cluster-75e7571caf91332e: crates/vine-runtime/tests/live_cluster.rs
+
+crates/vine-runtime/tests/live_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lnni_inference-2d406f761ce99874.d: examples/lnni_inference.rs
+
+/root/repo/target/debug/deps/lnni_inference-2d406f761ce99874: examples/lnni_inference.rs
+
+examples/lnni_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lnni_inference-e41a55b429c5c43f.d: examples/lnni_inference.rs
+
+/root/repo/target/debug/deps/lnni_inference-e41a55b429c5c43f: examples/lnni_inference.rs
+
+examples/lnni_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b999167bb0d647f3.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-b999167bb0d647f3: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-cb40e8fe7f65284d.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cb40e8fe7f65284d.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cb40e8fe7f65284d.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d2e21880cfc65dd7.d: crates/vine-lang/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d2e21880cfc65dd7: crates/vine-lang/tests/proptests.rs
+
+crates/vine-lang/tests/proptests.rs:

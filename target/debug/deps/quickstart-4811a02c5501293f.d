@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-4811a02c5501293f.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-4811a02c5501293f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-a141a6c003b28843.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-a141a6c003b28843: examples/quickstart.rs
+
+examples/quickstart.rs:

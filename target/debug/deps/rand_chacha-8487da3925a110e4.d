@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-8487da3925a110e4.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-8487da3925a110e4: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

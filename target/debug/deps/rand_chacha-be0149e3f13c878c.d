@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-be0149e3f13c878c.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-be0149e3f13c878c.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-be0149e3f13c878c.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7829fd17ace0826c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7829fd17ace0826c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

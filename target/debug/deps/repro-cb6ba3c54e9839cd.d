@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cb6ba3c54e9839cd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-cb6ba3c54e9839cd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

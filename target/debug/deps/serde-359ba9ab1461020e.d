@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-359ba9ab1461020e.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-359ba9ab1461020e.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-359ba9ab1461020e.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-c39cc93b82f4852a.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-c39cc93b82f4852a: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

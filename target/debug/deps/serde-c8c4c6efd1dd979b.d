@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c8c4c6efd1dd979b.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c8c4c6efd1dd979b.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c8c4c6efd1dd979b.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

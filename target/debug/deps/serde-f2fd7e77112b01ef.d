@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-f2fd7e77112b01ef.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-f2fd7e77112b01ef.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_shim-31065f3e1b201f20.d: shims/serde_derive_shim/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive_shim-31065f3e1b201f20: shims/serde_derive_shim/src/lib.rs
+
+shims/serde_derive_shim/src/lib.rs:

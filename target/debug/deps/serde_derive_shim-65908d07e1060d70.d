@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_shim-65908d07e1060d70.d: shims/serde_derive_shim/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive_shim-65908d07e1060d70.so: shims/serde_derive_shim/src/lib.rs
+
+shims/serde_derive_shim/src/lib.rs:

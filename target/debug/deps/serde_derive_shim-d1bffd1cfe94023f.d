@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_shim-d1bffd1cfe94023f.d: shims/serde_derive_shim/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive_shim-d1bffd1cfe94023f.so: shims/serde_derive_shim/src/lib.rs
+
+shims/serde_derive_shim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-557f7739cc0b170e.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-557f7739cc0b170e.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-557f7739cc0b170e.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

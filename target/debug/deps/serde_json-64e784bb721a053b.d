@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-64e784bb721a053b.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-64e784bb721a053b.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-64e784bb721a053b.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-705221a5d8a54553.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-705221a5d8a54553: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

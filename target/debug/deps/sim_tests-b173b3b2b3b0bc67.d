@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_tests-b173b3b2b3b0bc67.d: crates/vine-sim/tests/sim_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_tests-b173b3b2b3b0bc67.rmeta: crates/vine-sim/tests/sim_tests.rs Cargo.toml
+
+crates/vine-sim/tests/sim_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_tests-c2339dc9117244fd.d: crates/vine-sim/tests/sim_tests.rs
+
+/root/repo/target/debug/deps/sim_tests-c2339dc9117244fd: crates/vine-sim/tests/sim_tests.rs
+
+crates/vine-sim/tests/sim_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-aa925d803436af68.d: tests/tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-aa925d803436af68: tests/tests/substrate_properties.rs
+
+tests/tests/substrate_properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vine_apps-3a2b34967cd9c168.d: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+/root/repo/target/debug/deps/libvine_apps-3a2b34967cd9c168.rlib: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+/root/repo/target/debug/deps/libvine_apps-3a2b34967cd9c168.rmeta: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+crates/vine-apps/src/lib.rs:
+crates/vine-apps/src/examol.rs:
+crates/vine-apps/src/lnni.rs:
+crates/vine-apps/src/modules.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vine_apps-4c15bd5e3de41a2d.d: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+/root/repo/target/debug/deps/libvine_apps-4c15bd5e3de41a2d.rlib: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+/root/repo/target/debug/deps/libvine_apps-4c15bd5e3de41a2d.rmeta: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+crates/vine-apps/src/lib.rs:
+crates/vine-apps/src/examol.rs:
+crates/vine-apps/src/lnni.rs:
+crates/vine-apps/src/modules.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vine_apps-9fd084e700fec96b.d: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+/root/repo/target/debug/deps/vine_apps-9fd084e700fec96b: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+crates/vine-apps/src/lib.rs:
+crates/vine-apps/src/examol.rs:
+crates/vine-apps/src/lnni.rs:
+crates/vine-apps/src/modules.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vine_core-d20cdadba4e81b03.d: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs
+
+/root/repo/target/debug/deps/vine_core-d20cdadba4e81b03: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs
+
+crates/vine-core/src/lib.rs:
+crates/vine-core/src/config.rs:
+crates/vine-core/src/context.rs:
+crates/vine-core/src/error.rs:
+crates/vine-core/src/ids.rs:
+crates/vine-core/src/resources.rs:
+crates/vine-core/src/task.rs:
+crates/vine-core/src/time.rs:
+crates/vine-core/src/trace.rs:

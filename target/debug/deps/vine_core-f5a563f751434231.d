@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vine_core-f5a563f751434231.d: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs
+
+/root/repo/target/debug/deps/libvine_core-f5a563f751434231.rlib: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs
+
+/root/repo/target/debug/deps/libvine_core-f5a563f751434231.rmeta: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs
+
+crates/vine-core/src/lib.rs:
+crates/vine-core/src/config.rs:
+crates/vine-core/src/context.rs:
+crates/vine-core/src/error.rs:
+crates/vine-core/src/ids.rs:
+crates/vine-core/src/resources.rs:
+crates/vine-core/src/task.rs:
+crates/vine-core/src/time.rs:
+crates/vine-core/src/trace.rs:

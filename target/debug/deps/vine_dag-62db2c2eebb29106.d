@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vine_dag-62db2c2eebb29106.d: crates/vine-dag/src/lib.rs
+
+/root/repo/target/debug/deps/vine_dag-62db2c2eebb29106: crates/vine-dag/src/lib.rs
+
+crates/vine-dag/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vine_dag-6d25057cf095e507.d: crates/vine-dag/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_dag-6d25057cf095e507.rlib: crates/vine-dag/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_dag-6d25057cf095e507.rmeta: crates/vine-dag/src/lib.rs
+
+crates/vine-dag/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vine_dag-8043d25016039e5b.d: crates/vine-dag/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_dag-8043d25016039e5b.rlib: crates/vine-dag/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_dag-8043d25016039e5b.rmeta: crates/vine-dag/src/lib.rs
+
+crates/vine-dag/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vine_data-4443f6204be4f34c.d: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+/root/repo/target/debug/deps/libvine_data-4443f6204be4f34c.rlib: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+/root/repo/target/debug/deps/libvine_data-4443f6204be4f34c.rmeta: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+crates/vine-data/src/lib.rs:
+crates/vine-data/src/cache.rs:
+crates/vine-data/src/sharedfs.rs:
+crates/vine-data/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vine_data-876318817a3e8598.d: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+/root/repo/target/debug/deps/libvine_data-876318817a3e8598.rlib: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+/root/repo/target/debug/deps/libvine_data-876318817a3e8598.rmeta: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+crates/vine-data/src/lib.rs:
+crates/vine-data/src/cache.rs:
+crates/vine-data/src/sharedfs.rs:
+crates/vine-data/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vine_data-a842d7cdb08215ab.d: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+/root/repo/target/debug/deps/vine_data-a842d7cdb08215ab: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+crates/vine-data/src/lib.rs:
+crates/vine-data/src/cache.rs:
+crates/vine-data/src/sharedfs.rs:
+crates/vine-data/src/store.rs:

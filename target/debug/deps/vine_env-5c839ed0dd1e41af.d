@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vine_env-5c839ed0dd1e41af.d: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+/root/repo/target/debug/deps/vine_env-5c839ed0dd1e41af: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+crates/vine-env/src/lib.rs:
+crates/vine-env/src/archive.rs:
+crates/vine-env/src/catalog.rs:
+crates/vine-env/src/registry.rs:
+crates/vine-env/src/resolve.rs:

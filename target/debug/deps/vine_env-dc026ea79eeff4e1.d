@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vine_env-dc026ea79eeff4e1.d: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+/root/repo/target/debug/deps/libvine_env-dc026ea79eeff4e1.rlib: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+/root/repo/target/debug/deps/libvine_env-dc026ea79eeff4e1.rmeta: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+crates/vine-env/src/lib.rs:
+crates/vine-env/src/archive.rs:
+crates/vine-env/src/catalog.rs:
+crates/vine-env/src/registry.rs:
+crates/vine-env/src/resolve.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vine_env-f40834b66afc6b0a.d: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+/root/repo/target/debug/deps/libvine_env-f40834b66afc6b0a.rlib: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+/root/repo/target/debug/deps/libvine_env-f40834b66afc6b0a.rmeta: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+crates/vine-env/src/lib.rs:
+crates/vine-env/src/archive.rs:
+crates/vine-env/src/catalog.rs:
+crates/vine-env/src/registry.rs:
+crates/vine-env/src/resolve.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vine_lang-2a4f29c2e9e4016e.d: crates/vine-lang/src/lib.rs crates/vine-lang/src/ast.rs crates/vine-lang/src/autocontext.rs crates/vine-lang/src/builtins.rs crates/vine-lang/src/inspect.rs crates/vine-lang/src/interp.rs crates/vine-lang/src/lexer.rs crates/vine-lang/src/modules.rs crates/vine-lang/src/parser.rs crates/vine-lang/src/pickle.rs crates/vine-lang/src/value.rs
+
+/root/repo/target/debug/deps/libvine_lang-2a4f29c2e9e4016e.rlib: crates/vine-lang/src/lib.rs crates/vine-lang/src/ast.rs crates/vine-lang/src/autocontext.rs crates/vine-lang/src/builtins.rs crates/vine-lang/src/inspect.rs crates/vine-lang/src/interp.rs crates/vine-lang/src/lexer.rs crates/vine-lang/src/modules.rs crates/vine-lang/src/parser.rs crates/vine-lang/src/pickle.rs crates/vine-lang/src/value.rs
+
+/root/repo/target/debug/deps/libvine_lang-2a4f29c2e9e4016e.rmeta: crates/vine-lang/src/lib.rs crates/vine-lang/src/ast.rs crates/vine-lang/src/autocontext.rs crates/vine-lang/src/builtins.rs crates/vine-lang/src/inspect.rs crates/vine-lang/src/interp.rs crates/vine-lang/src/lexer.rs crates/vine-lang/src/modules.rs crates/vine-lang/src/parser.rs crates/vine-lang/src/pickle.rs crates/vine-lang/src/value.rs
+
+crates/vine-lang/src/lib.rs:
+crates/vine-lang/src/ast.rs:
+crates/vine-lang/src/autocontext.rs:
+crates/vine-lang/src/builtins.rs:
+crates/vine-lang/src/inspect.rs:
+crates/vine-lang/src/interp.rs:
+crates/vine-lang/src/lexer.rs:
+crates/vine-lang/src/modules.rs:
+crates/vine-lang/src/parser.rs:
+crates/vine-lang/src/pickle.rs:
+crates/vine-lang/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vine_manager-5b554e520a0d819b.d: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+/root/repo/target/debug/deps/libvine_manager-5b554e520a0d819b.rlib: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+/root/repo/target/debug/deps/libvine_manager-5b554e520a0d819b.rmeta: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+crates/vine-manager/src/lib.rs:
+crates/vine-manager/src/index.rs:
+crates/vine-manager/src/manager.rs:
+crates/vine-manager/src/reference.rs:
+crates/vine-manager/src/ring.rs:

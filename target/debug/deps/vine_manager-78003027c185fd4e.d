@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vine_manager-78003027c185fd4e.d: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_manager-78003027c185fd4e.rmeta: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs Cargo.toml
+
+crates/vine-manager/src/lib.rs:
+crates/vine-manager/src/index.rs:
+crates/vine-manager/src/manager.rs:
+crates/vine-manager/src/reference.rs:
+crates/vine-manager/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

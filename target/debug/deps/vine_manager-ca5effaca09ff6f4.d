@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vine_manager-ca5effaca09ff6f4.d: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+/root/repo/target/debug/deps/libvine_manager-ca5effaca09ff6f4.rlib: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+/root/repo/target/debug/deps/libvine_manager-ca5effaca09ff6f4.rmeta: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+crates/vine-manager/src/lib.rs:
+crates/vine-manager/src/index.rs:
+crates/vine-manager/src/manager.rs:
+crates/vine-manager/src/reference.rs:
+crates/vine-manager/src/ring.rs:

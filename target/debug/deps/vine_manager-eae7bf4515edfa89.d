@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vine_manager-eae7bf4515edfa89.d: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+/root/repo/target/debug/deps/vine_manager-eae7bf4515edfa89: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+crates/vine-manager/src/lib.rs:
+crates/vine-manager/src/index.rs:
+crates/vine-manager/src/manager.rs:
+crates/vine-manager/src/reference.rs:
+crates/vine-manager/src/ring.rs:

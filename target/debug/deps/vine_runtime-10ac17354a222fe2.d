@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vine_runtime-10ac17354a222fe2.d: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+/root/repo/target/debug/deps/libvine_runtime-10ac17354a222fe2.rlib: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+/root/repo/target/debug/deps/libvine_runtime-10ac17354a222fe2.rmeta: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+crates/vine-runtime/src/lib.rs:
+crates/vine-runtime/src/library_host.rs:
+crates/vine-runtime/src/runtime.rs:
+crates/vine-runtime/src/worker_host.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vine_runtime-b222dcfcbf5dc722.d: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+/root/repo/target/debug/deps/libvine_runtime-b222dcfcbf5dc722.rlib: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+/root/repo/target/debug/deps/libvine_runtime-b222dcfcbf5dc722.rmeta: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+crates/vine-runtime/src/lib.rs:
+crates/vine-runtime/src/library_host.rs:
+crates/vine-runtime/src/runtime.rs:
+crates/vine-runtime/src/worker_host.rs:

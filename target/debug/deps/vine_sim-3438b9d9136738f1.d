@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vine_sim-3438b9d9136738f1.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+
+/root/repo/target/debug/deps/libvine_sim-3438b9d9136738f1.rlib: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+
+/root/repo/target/debug/deps/libvine_sim-3438b9d9136738f1.rmeta: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+
+crates/vine-sim/src/lib.rs:
+crates/vine-sim/src/cluster.rs:
+crates/vine-sim/src/engine.rs:
+crates/vine-sim/src/run.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vine_transfer-47087e75c634579e.d: crates/vine-transfer/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_transfer-47087e75c634579e.rlib: crates/vine-transfer/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_transfer-47087e75c634579e.rmeta: crates/vine-transfer/src/lib.rs
+
+crates/vine-transfer/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vine_transfer-473f6b076fae9504.d: crates/vine-transfer/src/lib.rs
+
+/root/repo/target/debug/deps/vine_transfer-473f6b076fae9504: crates/vine-transfer/src/lib.rs
+
+crates/vine-transfer/src/lib.rs:

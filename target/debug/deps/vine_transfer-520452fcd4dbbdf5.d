@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vine_transfer-520452fcd4dbbdf5.d: crates/vine-transfer/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_transfer-520452fcd4dbbdf5.rlib: crates/vine-transfer/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_transfer-520452fcd4dbbdf5.rmeta: crates/vine-transfer/src/lib.rs
+
+crates/vine-transfer/src/lib.rs:

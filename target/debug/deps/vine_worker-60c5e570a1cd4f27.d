@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vine_worker-60c5e570a1cd4f27.d: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+/root/repo/target/debug/deps/libvine_worker-60c5e570a1cd4f27.rlib: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+/root/repo/target/debug/deps/libvine_worker-60c5e570a1cd4f27.rmeta: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+crates/vine-worker/src/lib.rs:
+crates/vine-worker/src/library.rs:
+crates/vine-worker/src/protocol.rs:
+crates/vine-worker/src/sandbox.rs:
+crates/vine-worker/src/state.rs:

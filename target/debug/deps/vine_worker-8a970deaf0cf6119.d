@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vine_worker-8a970deaf0cf6119.d: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+/root/repo/target/debug/deps/vine_worker-8a970deaf0cf6119: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+crates/vine-worker/src/lib.rs:
+crates/vine-worker/src/library.rs:
+crates/vine-worker/src/protocol.rs:
+crates/vine-worker/src/sandbox.rs:
+crates/vine-worker/src/state.rs:

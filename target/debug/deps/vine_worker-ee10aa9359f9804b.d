@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vine_worker-ee10aa9359f9804b.d: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+/root/repo/target/debug/deps/libvine_worker-ee10aa9359f9804b.rlib: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+/root/repo/target/debug/deps/libvine_worker-ee10aa9359f9804b.rmeta: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+crates/vine-worker/src/lib.rs:
+crates/vine-worker/src/library.rs:
+crates/vine-worker/src/protocol.rs:
+crates/vine-worker/src/sandbox.rs:
+crates/vine-worker/src/state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/broadcast_strategies-84e6385071b3c45d.d: examples/broadcast_strategies.rs
+
+/root/repo/target/release/deps/broadcast_strategies-84e6385071b3c45d: examples/broadcast_strategies.rs
+
+examples/broadcast_strategies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/examol_design-7596e282095e1c76.d: examples/examol_design.rs
+
+/root/repo/target/release/deps/examol_design-7596e282095e1c76: examples/examol_design.rs
+
+examples/examol_design.rs:

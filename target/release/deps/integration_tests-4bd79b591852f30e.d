@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration_tests-4bd79b591852f30e.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-4bd79b591852f30e.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-4bd79b591852f30e.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

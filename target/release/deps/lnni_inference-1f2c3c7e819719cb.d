@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lnni_inference-1f2c3c7e819719cb.d: examples/lnni_inference.rs
+
+/root/repo/target/release/deps/lnni_inference-1f2c3c7e819719cb: examples/lnni_inference.rs
+
+examples/lnni_inference.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-6bcbe6c939ee6933.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6bcbe6c939ee6933.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6bcbe6c939ee6933.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2ce33de82137a63d.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2ce33de82137a63d.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2ce33de82137a63d.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-4c9fabe7d4ab4624.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-4c9fabe7d4ab4624: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-32eea5fca74bbdda.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-32eea5fca74bbdda.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-32eea5fca74bbdda.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-1b0115ec0f0c6668.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-1b0115ec0f0c6668.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-1b0115ec0f0c6668.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

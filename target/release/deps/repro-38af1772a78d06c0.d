@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-38af1772a78d06c0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-38af1772a78d06c0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

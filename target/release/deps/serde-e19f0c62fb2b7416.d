@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-e19f0c62fb2b7416.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e19f0c62fb2b7416.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e19f0c62fb2b7416.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_shim-10d930661ce13ff6.d: shims/serde_derive_shim/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive_shim-10d930661ce13ff6.so: shims/serde_derive_shim/src/lib.rs
+
+shims/serde_derive_shim/src/lib.rs:

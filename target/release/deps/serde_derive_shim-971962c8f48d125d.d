@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_shim-971962c8f48d125d.d: shims/serde_derive_shim/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive_shim-971962c8f48d125d.so: shims/serde_derive_shim/src/lib.rs
+
+shims/serde_derive_shim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-67d2ebb9c839fe32.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-67d2ebb9c839fe32.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-67d2ebb9c839fe32.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vine_apps-b236f7a94f9d95a3.d: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+/root/repo/target/release/deps/libvine_apps-b236f7a94f9d95a3.rlib: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+/root/repo/target/release/deps/libvine_apps-b236f7a94f9d95a3.rmeta: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs
+
+crates/vine-apps/src/lib.rs:
+crates/vine-apps/src/examol.rs:
+crates/vine-apps/src/lnni.rs:
+crates/vine-apps/src/modules.rs:

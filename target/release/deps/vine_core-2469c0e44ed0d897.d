@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vine_core-2469c0e44ed0d897.d: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs
+
+/root/repo/target/release/deps/libvine_core-2469c0e44ed0d897.rlib: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs
+
+/root/repo/target/release/deps/libvine_core-2469c0e44ed0d897.rmeta: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs
+
+crates/vine-core/src/lib.rs:
+crates/vine-core/src/config.rs:
+crates/vine-core/src/context.rs:
+crates/vine-core/src/error.rs:
+crates/vine-core/src/ids.rs:
+crates/vine-core/src/resources.rs:
+crates/vine-core/src/task.rs:
+crates/vine-core/src/time.rs:
+crates/vine-core/src/trace.rs:

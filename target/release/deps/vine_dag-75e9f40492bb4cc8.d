@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vine_dag-75e9f40492bb4cc8.d: crates/vine-dag/src/lib.rs
+
+/root/repo/target/release/deps/libvine_dag-75e9f40492bb4cc8.rlib: crates/vine-dag/src/lib.rs
+
+/root/repo/target/release/deps/libvine_dag-75e9f40492bb4cc8.rmeta: crates/vine-dag/src/lib.rs
+
+crates/vine-dag/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vine_data-01b7e517d8c18e69.d: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+/root/repo/target/release/deps/libvine_data-01b7e517d8c18e69.rlib: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+/root/repo/target/release/deps/libvine_data-01b7e517d8c18e69.rmeta: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs
+
+crates/vine-data/src/lib.rs:
+crates/vine-data/src/cache.rs:
+crates/vine-data/src/sharedfs.rs:
+crates/vine-data/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vine_env-05c016292e25f5d3.d: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+/root/repo/target/release/deps/libvine_env-05c016292e25f5d3.rlib: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+/root/repo/target/release/deps/libvine_env-05c016292e25f5d3.rmeta: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs
+
+crates/vine-env/src/lib.rs:
+crates/vine-env/src/archive.rs:
+crates/vine-env/src/catalog.rs:
+crates/vine-env/src/registry.rs:
+crates/vine-env/src/resolve.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vine_manager-7f21bfb01866aef1.d: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+/root/repo/target/release/deps/libvine_manager-7f21bfb01866aef1.rlib: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+/root/repo/target/release/deps/libvine_manager-7f21bfb01866aef1.rmeta: crates/vine-manager/src/lib.rs crates/vine-manager/src/index.rs crates/vine-manager/src/manager.rs crates/vine-manager/src/reference.rs crates/vine-manager/src/ring.rs
+
+crates/vine-manager/src/lib.rs:
+crates/vine-manager/src/index.rs:
+crates/vine-manager/src/manager.rs:
+crates/vine-manager/src/reference.rs:
+crates/vine-manager/src/ring.rs:

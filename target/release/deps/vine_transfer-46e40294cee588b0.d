@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vine_transfer-46e40294cee588b0.d: crates/vine-transfer/src/lib.rs
+
+/root/repo/target/release/deps/libvine_transfer-46e40294cee588b0.rlib: crates/vine-transfer/src/lib.rs
+
+/root/repo/target/release/deps/libvine_transfer-46e40294cee588b0.rmeta: crates/vine-transfer/src/lib.rs
+
+crates/vine-transfer/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vine_worker-f93ec24c346cca59.d: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+/root/repo/target/release/deps/libvine_worker-f93ec24c346cca59.rlib: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+/root/repo/target/release/deps/libvine_worker-f93ec24c346cca59.rmeta: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs
+
+crates/vine-worker/src/lib.rs:
+crates/vine-worker/src/library.rs:
+crates/vine-worker/src/protocol.rs:
+crates/vine-worker/src/sandbox.rs:
+crates/vine-worker/src/state.rs:

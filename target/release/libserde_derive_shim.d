@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_derive_shim.so: /root/repo/shims/serde_derive_shim/src/lib.rs
