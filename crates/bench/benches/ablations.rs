@@ -41,7 +41,9 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
                 let mut done = 0u32;
                 while let Some(d) = m.next_decision() {
                     match d {
-                        Decision::InstallLibrary { worker, instance, .. } => {
+                        Decision::InstallLibrary {
+                            worker, instance, ..
+                        } => {
                             m.library_ready(worker, instance).unwrap();
                         }
                         Decision::DispatchCall { call, .. } => {
@@ -81,11 +83,7 @@ fn bench_cache_churn(c: &mut Criterion) {
 fn bench_resolver(c: &mut Criterion) {
     let registry = catalog::standard_registry();
     c.bench_function("resolve_lnni_144_packages", |b| {
-        b.iter(|| {
-            black_box(
-                vine_env::resolve(&registry, &catalog::lnni_requirements()).unwrap(),
-            )
-        })
+        b.iter(|| black_box(vine_env::resolve(&registry, &catalog::lnni_requirements()).unwrap()))
     });
     c.bench_function("pack_lnni_environment", |b| {
         let res = vine_env::resolve(&registry, &catalog::lnni_requirements()).unwrap();
@@ -104,11 +102,13 @@ fn bench_fluid_pool(c: &mut Criterion) {
                 let mut t = SimTime::ZERO;
                 for i in 0..*flows {
                     pool.add(t, i as u64, 340.0e6);
-                    t = t + vine_core::SimDuration::from_millis(1);
+                    t += vine_core::SimDuration::from_millis(1);
                 }
                 let mut completed = 0;
                 while completed < *flows {
-                    let Some(next) = pool.next_completion(t) else { break };
+                    let Some(next) = pool.next_completion(t) else {
+                        break;
+                    };
                     t = next;
                     completed += pool.take_completed(t).len();
                 }

@@ -24,8 +24,7 @@ fn bench_plan_tree_fanout_sweep(c: &mut Criterion) {
     for cap in [1usize, 2, 3, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, cap| {
             b.iter(|| {
-                let plan =
-                    plan_broadcast(&Topology::FullPeer { fanout_cap: *cap }, &ws).unwrap();
+                let plan = plan_broadcast(&Topology::FullPeer { fanout_cap: *cap }, &ws).unwrap();
                 // plan quality is part of what the ablation reports
                 black_box((plan.depth(), plan.manager_sends()))
             })
@@ -51,9 +50,7 @@ fn bench_plan_scales_with_cluster(c: &mut Criterion) {
     for n in [50u32, 150, 500, 2000] {
         let ws = workers(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &ws, |b, ws| {
-            b.iter(|| {
-                black_box(plan_broadcast(&Topology::FullPeer { fanout_cap: 3 }, ws).unwrap())
-            })
+            b.iter(|| black_box(plan_broadcast(&Topology::FullPeer { fanout_cap: 3 }, ws).unwrap()))
         });
     }
     group.finish();

@@ -61,8 +61,8 @@ fn bench_function_shipping(c: &mut Criterion) {
     let prog = vine_lang::parse(BIG_SOURCE).unwrap();
     let def = prog
         .iter()
-        .find_map(|s| match s {
-            vine_lang::Stmt::FuncDef(d) if d.name == "infer" => Some(d.clone()),
+        .find_map(|s| match &s.kind {
+            vine_lang::StmtKind::FuncDef(d) if d.name == "infer" => Some(d.clone()),
             _ => None,
         })
         .unwrap();

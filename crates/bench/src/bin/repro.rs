@@ -1,15 +1,83 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, and pre-flight
+//! workflow programs.
 //!
 //! ```text
 //! repro all [--scale 0.05] [--json]
 //! repro fig6a table4 ...
+//! repro lint [file.vine ...]
 //! repro --list
 //! ```
 
 use bench::experiments;
+use std::collections::BTreeSet;
+
+/// `repro lint [paths...]` — run the vine-lint language + environment
+/// layers over vinescript sources. With no paths, lints the embedded
+/// application sources (LNNI, ExaMol) and every `examples/vinescript/*.vine`
+/// file. Exits 1 if any target has errors.
+fn run_lint(paths: &[String]) -> ! {
+    // everything an activated worker environment could provide: the native
+    // module registry plus every catalog package that provides a module
+    let mut available: BTreeSet<String> = vine_apps::modules::full_registry()
+        .names()
+        .map(|s| s.to_string())
+        .collect();
+    available.extend(
+        vine_env::catalog::standard_registry()
+            .provided_modules()
+            .map(|s| s.to_string()),
+    );
+
+    let mut targets: Vec<(String, String)> = Vec::new();
+    if paths.is_empty() {
+        targets.push(("lnni".into(), vine_apps::lnni::LNNI_SOURCE.to_string()));
+        targets.push((
+            "examol".into(),
+            vine_apps::examol::EXAMOL_SOURCE.to_string(),
+        ));
+        if let Ok(entries) = std::fs::read_dir("examples/vinescript") {
+            let mut files: Vec<_> = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "vine"))
+                .collect();
+            files.sort();
+            for p in files {
+                match std::fs::read_to_string(&p) {
+                    Ok(src) => targets.push((p.display().to_string(), src)),
+                    Err(e) => {
+                        eprintln!("{}: {e}", p.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    } else {
+        for p in paths {
+            match std::fs::read_to_string(p) {
+                Ok(src) => targets.push((p.clone(), src)),
+                Err(e) => {
+                    eprintln!("{p}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let mut errors = 0;
+    for (origin, src) in &targets {
+        let report = vine_lint::lint_source_with_env(origin, src, &available, None);
+        print!("{}", report.render());
+        errors += report.error_count();
+    }
+    std::process::exit(if errors > 0 { 1 } else { 0 });
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        run_lint(&args[1..]);
+    }
     let mut scale = 1.0f64;
     let mut json = false;
     let mut ids: Vec<String> = Vec::new();
@@ -36,6 +104,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [all | <id>...] [--scale S] [--json]\n\
+                     \x20      repro lint [file.vine ...]\n\
                      experiments: {}\n\
                      extra: perf (scheduler self-benchmark, writes BENCH_sched.json)",
                     experiments::IDS.join(", ")

@@ -7,11 +7,11 @@
 //! the *relative* shape is what survives.
 
 use crate::table::Table;
+use vine_apps::{ExaMolConfig, ExaMolWorkload, LnniConfig, LnniWorkload};
 use vine_core::config::ReuseLevel;
 use vine_core::time::SimDuration;
 use vine_lang::Value;
 use vine_sim::{simulate, SimConfig, SimResult};
-use vine_apps::{ExaMolConfig, ExaMolWorkload, LnniConfig, LnniWorkload};
 use vine_transfer::{plan_broadcast, Topology};
 
 fn scaled(n: u64, scale: f64) -> u64 {
@@ -19,12 +19,7 @@ fn scaled(n: u64, scale: f64) -> u64 {
 }
 
 /// Run LNNI in the simulator.
-pub fn run_lnni(
-    level: ReuseLevel,
-    invocations: u64,
-    inferences: u64,
-    workers: usize,
-) -> SimResult {
+pub fn run_lnni(level: ReuseLevel, invocations: u64, inferences: u64, workers: usize) -> SimResult {
     let mut w = LnniWorkload::new(LnniConfig {
         invocations,
         inferences_per_invocation: inferences,
@@ -52,7 +47,11 @@ pub fn table2(scale: f64) -> Table {
     let mut t = Table::new(
         "table2",
         "Overhead of Executing 1,000 Trivial Functions (paper Table 2)",
-        &["total_s", "overhead_per_worker_s", "overhead_per_invocation_s"],
+        &[
+            "total_s",
+            "overhead_per_worker_s",
+            "overhead_per_invocation_s",
+        ],
     );
 
     // Local Invocation: really run the trivial function in-process
@@ -82,7 +81,10 @@ pub fn table2(scale: f64) -> Table {
     impl vine_sim::Workload for Trivial {
         fn libraries(
             &self,
-        ) -> Vec<(vine_core::context::LibrarySpec, vine_core::task::WorkProfile)> {
+        ) -> Vec<(
+            vine_core::context::LibrarySpec,
+            vine_core::task::WorkProfile,
+        )> {
             if !self.as_calls {
                 return Vec::new();
             }
@@ -112,10 +114,8 @@ pub fn table2(scale: f64) -> Table {
                         c.profile = profile;
                         vine_core::task::WorkUnit::Call(c)
                     } else {
-                        let mut task = vine_core::task::TaskSpec::new(
-                            vine_core::ids::TaskId(i),
-                            "trivial",
-                        );
+                        let mut task =
+                            vine_core::task::TaskSpec::new(vine_core::ids::TaskId(i), "trivial");
                         task.function = Some("trivial".into());
                         task.resources = vine_core::resources::Resources::paper_worker();
                         task.profile = profile;
@@ -148,8 +148,12 @@ pub fn table2(scale: f64) -> Table {
         "Remote Invocation",
         vec![total, startup, (total - startup) / n as f64],
     );
-    t.note(format!("n = {n} trivial functions, 1 worker, manager co-located"));
-    t.note("paper: Local 8.89e-5 | Task 211.06 / 20.65 / 0.19 | Invocation 22.46 / 19.94 / 2.52e-3");
+    t.note(format!(
+        "n = {n} trivial functions, 1 worker, manager co-located"
+    ));
+    t.note(
+        "paper: Local 8.89e-5 | Task 211.06 / 20.65 / 0.19 | Invocation 22.46 / 19.94 / 2.52e-3",
+    );
     t
 }
 
@@ -259,7 +263,9 @@ pub fn table4(scale: f64) -> Table {
             vec![stats.mean, stats.std_dev, stats.min, stats.max],
         );
     }
-    t.note("paper: L1 21.59/34.78/6.71/289.72 | L2 13.48/3.68/6.09/45.33 | L3 4.77/3.43/2.67/39.51");
+    t.note(
+        "paper: L1 21.59/34.78/6.71/289.72 | L2 13.48/3.68/6.09/45.33 | L3 4.77/3.43/2.67/39.51",
+    );
     t
 }
 
@@ -275,9 +281,7 @@ pub fn fig8(scale: f64) -> Table {
     for inferences in [16u64, 160, 1_600] {
         let times: Vec<f64> = ReuseLevel::ALL
             .iter()
-            .map(|level| {
-                run_lnni(*level, n, inferences, 100).makespan.as_secs_f64()
-            })
+            .map(|level| run_lnni(*level, n, inferences, 100).makespan.as_secs_f64())
             .collect();
         let reduction = (1.0 - times[2] / times[0]) * 100.0;
         t.row(
@@ -306,8 +310,13 @@ pub fn fig9(scale: f64) -> Table {
     }
     // the paper's text: L3 at 10 and 25 workers degrades to 455 s / 145 s
     for workers in [10usize, 25] {
-        let l3 = run_lnni(ReuseLevel::L3, n, 16, workers).makespan.as_secs_f64();
-        t.row(format!("{workers} workers (L3 only)"), vec![f64::NAN, f64::NAN, l3]);
+        let l3 = run_lnni(ReuseLevel::L3, n, 16, workers)
+            .makespan
+            .as_secs_f64();
+        t.row(
+            format!("{workers} workers (L3 only)"),
+            vec![f64::NAN, f64::NAN, l3],
+        );
     }
     t.note("paper: L3 flat across 50–150 workers; L1/L2 improve slightly; L3 degrades to 455 s @10 and 145 s @25 workers");
     t
@@ -352,7 +361,12 @@ pub fn table5() -> Table {
     let mut t = Table::new(
         "table5",
         "Overhead Breakdown of LNNI Invocations (paper Table 5)",
-        &["transfer_s", "worker_overhead_s", "library_invoc_overhead_s", "exec_s"],
+        &[
+            "transfer_s",
+            "worker_overhead_s",
+            "library_invoc_overhead_s",
+            "exec_s",
+        ],
     );
 
     // L2: two whole-worker sequential invocations — first cold, second hot
@@ -417,24 +431,18 @@ pub fn table5() -> Table {
 /// Fig 3 (mechanism): modeled completion time of broadcasting the 572 MB
 /// LNNI environment to 150 workers under the three distribution strategies.
 pub fn fig3() -> Table {
-    let workers: Vec<vine_core::ids::WorkerId> =
-        (0..150).map(vine_core::ids::WorkerId).collect();
+    let workers: Vec<vine_core::ids::WorkerId> = (0..150).map(vine_core::ids::WorkerId).collect();
     let cost = vine_core::CostModel::paper();
-    let per_hop = SimDuration::for_transfer(
-        vine_env::catalog::LNNI_PACKED_BYTES,
-        cost.nic_bytes_per_sec,
-    )
-    .as_secs_f64();
+    let per_hop =
+        SimDuration::for_transfer(vine_env::catalog::LNNI_PACKED_BYTES, cost.nic_bytes_per_sec)
+            .as_secs_f64();
 
     let mut t = Table::new(
         "fig3",
         "Broadcast Strategies: 572 MB Environment to 150 Workers (paper Fig 3)",
         &["serialized_rounds", "modeled_completion_s", "manager_sends"],
     );
-    let clusters = vec![
-        workers[..75].to_vec(),
-        workers[75..].to_vec(),
-    ];
+    let clusters = vec![workers[..75].to_vec(), workers[75..].to_vec()];
     for (label, topo) in [
         ("(a) no worker-to-worker", Topology::Star),
         (
@@ -459,7 +467,9 @@ pub fn fig3() -> Table {
             ],
         );
     }
-    t.note(format!("one 572 MB transfer over a 10 Gb/s link = {per_hop:.2} s"));
+    t.note(format!(
+        "one 572 MB transfer over a 10 Gb/s link = {per_hop:.2} s"
+    ));
     t
 }
 
@@ -475,9 +485,7 @@ pub fn ablations(scale: f64) -> Table {
         "Design Ablations on LNNI (DESIGN.md §5)",
         &["execution_time_s"],
     );
-    let run = |level: ReuseLevel,
-               strategy: vine_apps::lnni::LibraryStrategy,
-               peer: bool| {
+    let run = |level: ReuseLevel, strategy: vine_apps::lnni::LibraryStrategy, peer: bool| {
         let mut w = LnniWorkload::new(LnniConfig {
             invocations: n,
             inferences_per_invocation: 16,
@@ -490,10 +498,22 @@ pub fn ablations(scale: f64) -> Table {
         simulate(cfg, &mut w).makespan.as_secs_f64()
     };
     use vine_apps::lnni::LibraryStrategy::*;
-    t.row("L3 per-slot libraries + peer transfer (baseline)", vec![run(ReuseLevel::L3, PerSlot, true)]);
-    t.row("L3 whole-worker libraries (16 slots)", vec![run(ReuseLevel::L3, WholeWorker, true)]);
-    t.row("L3 sequential broadcast (no peer transfer)", vec![run(ReuseLevel::L3, PerSlot, false)]);
-    t.row("L2 sequential broadcast (no peer transfer)", vec![run(ReuseLevel::L2, PerSlot, false)]);
+    t.row(
+        "L3 per-slot libraries + peer transfer (baseline)",
+        vec![run(ReuseLevel::L3, PerSlot, true)],
+    );
+    t.row(
+        "L3 whole-worker libraries (16 slots)",
+        vec![run(ReuseLevel::L3, WholeWorker, true)],
+    );
+    t.row(
+        "L3 sequential broadcast (no peer transfer)",
+        vec![run(ReuseLevel::L3, PerSlot, false)],
+    );
+    t.row(
+        "L2 sequential broadcast (no peer transfer)",
+        vec![run(ReuseLevel::L2, PerSlot, false)],
+    );
     t.note(format!("n = {n} invocations × 16 inferences, 150 workers"));
     t.note("whole-worker libraries pay one setup per 16 slots instead of 16; no-peer staging serializes the 802 MB context on the manager uplink");
     t
@@ -660,7 +680,11 @@ pub fn perf(scale: f64) -> Table {
     );
     t.row(
         "naive (linear scans)",
-        vec![naive_s, naive_decisions as f64, naive_decisions as f64 / naive_s],
+        vec![
+            naive_s,
+            naive_decisions as f64,
+            naive_decisions as f64 / naive_s,
+        ],
     );
     t.row(
         "indexed",
@@ -712,8 +736,18 @@ pub fn all(scale: f64) -> Vec<Table> {
 
 /// Experiment ids accepted by the `repro` binary.
 pub const IDS: &[&str] = &[
-    "table2", "fig3", "fig6a", "fig6b", "fig7", "table4", "fig8", "fig9", "fig10", "fig11",
-    "table5", "ablations",
+    "table2",
+    "fig3",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "table4",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table5",
+    "ablations",
 ];
 
 /// Run one experiment by id.

@@ -1,0 +1,58 @@
+//! The shipped workflow sources must stay clean under `repro lint`: the
+//! embedded application programs and every example vinescript file.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn available_modules() -> BTreeSet<String> {
+    let mut available: BTreeSet<String> = vine_apps::modules::full_registry()
+        .names()
+        .map(|s| s.to_string())
+        .collect();
+    available.extend(
+        vine_env::catalog::standard_registry()
+            .provided_modules()
+            .map(|s| s.to_string()),
+    );
+    available
+}
+
+#[test]
+fn embedded_application_sources_are_lint_clean() {
+    let available = available_modules();
+    for (name, src) in [
+        ("lnni", vine_apps::lnni::LNNI_SOURCE),
+        ("examol", vine_apps::examol::EXAMOL_SOURCE),
+    ] {
+        let report = vine_lint::lint_source_with_env(name, src, &available, None);
+        assert!(
+            report.is_clean(),
+            "{name} must lint clean:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn example_vinescript_files_are_lint_clean() {
+    let available = available_modules();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/vinescript");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/vinescript exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "vine") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let report =
+            vine_lint::lint_source_with_env(&path.display().to_string(), &src, &available, None);
+        assert!(
+            report.is_clean(),
+            "{} must lint clean:\n{}",
+            path.display(),
+            report.render()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected at least two example scripts");
+}

@@ -153,8 +153,8 @@ pub struct ExaMolWorkload {
 impl ExaMolWorkload {
     pub fn new(cfg: ExaMolConfig) -> ExaMolWorkload {
         let reg = catalog::standard_registry();
-        let res = vine_env::resolve(&reg, &catalog::examol_requirements())
-            .expect("catalog resolves");
+        let res =
+            vine_env::resolve(&reg, &catalog::examol_requirements()).expect("catalog resolves");
         let archive = vine_env::pack("examol-env", &res);
         let env = FileRef::new(
             FileId(10),
@@ -309,9 +309,8 @@ mod tests {
         assert!((800..1_200).contains(&infer), "infer {infer}");
         // cluster-mean occupied-slot time lands in the Fig 6b band
         // (~400 s at L2): reference seconds × 1.76 cluster factor
-        let mean_exec: f64 = (sim as f64 * 245.0 + train as f64 * 170.0 + infer as f64 * 34.0)
-            / 10_000.0
-            * 1.76;
+        let mean_exec: f64 =
+            (sim as f64 * 245.0 + train as f64 * 170.0 + infer as f64 * 34.0) / 10_000.0 * 1.76;
         assert!((370.0..420.0).contains(&mean_exec), "mean exec {mean_exec}");
     }
 
@@ -376,8 +375,7 @@ mod tests {
             vine_lang::inspect::scan_imports(&prog),
             vec!["chem".to_string()]
         );
-        let mut interp =
-            vine_lang::Interp::with_registry(crate::modules::full_registry());
+        let mut interp = vine_lang::Interp::with_registry(crate::modules::full_registry());
         interp.exec_source(EXAMOL_SOURCE).unwrap();
         interp
             .exec_source(

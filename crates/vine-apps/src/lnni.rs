@@ -127,8 +127,7 @@ impl LnniWorkload {
         // 572 MB packed, 3.1 GB unpacked (vine-env calibration tests pin
         // these to the paper's numbers)
         let reg = catalog::standard_registry();
-        let res = vine_env::resolve(&reg, &catalog::lnni_requirements())
-            .expect("catalog resolves");
+        let res = vine_env::resolve(&reg, &catalog::lnni_requirements()).expect("catalog resolves");
         let archive = vine_env::pack("lnni-env", &res);
         let env = FileRef::new(
             FileId(1),
@@ -374,8 +373,7 @@ mod tests {
 
     #[test]
     fn lnni_source_runs_end_to_end() {
-        let mut interp =
-            vine_lang::Interp::with_registry(crate::modules::full_registry());
+        let mut interp = vine_lang::Interp::with_registry(crate::modules::full_registry());
         interp.exec_source(LNNI_SOURCE).unwrap();
         interp
             .exec_source("context_setup(2, 8)\nresult = infer(0, 4)")

@@ -13,9 +13,9 @@
 //! testable.
 
 use std::rc::Rc;
+use vine_core::VineError;
 use vine_lang::modules::{native, ModuleRegistry};
 use vine_lang::value::{NativeFunc, Tensor, Value};
-use vine_core::VineError;
 
 /// Deterministic pseudo-random weight for position (layer, i).
 fn weight_at(layer: usize, i: usize) -> f64 {
@@ -278,13 +278,9 @@ mod tests {
     #[test]
     fn bad_model_arguments_error() {
         let mut i = interp();
-        let e = i
-            .exec_source("import nn\nnn.forward(5, 1)")
-            .unwrap_err();
+        let e = i.exec_source("import nn\nnn.forward(5, 1)").unwrap_err();
         assert!(e.to_string().contains("must be dict"));
-        let e = i
-            .exec_source("import nn\nnn.load_model(2)")
-            .unwrap_err();
+        let e = i.exec_source("import nn\nnn.load_model(2)").unwrap_err();
         assert!(e.to_string().contains("load_model"));
     }
 

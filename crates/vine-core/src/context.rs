@@ -317,7 +317,10 @@ mod tests {
         // partial-worker library: 4 cores / 1 slot strategy (§3.5.2)
         lib.slots = None;
         lib.resources = Some(Resources::new(4, 8 * 1024, 8 * 1024));
-        assert_eq!(lib.resolve_slots(&worker, &Resources::new(4, 8 * 1024, 8 * 1024)), 1);
+        assert_eq!(
+            lib.resolve_slots(&worker, &Resources::new(4, 8 * 1024, 8 * 1024)),
+            1
+        );
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum VineError {
     ExecutionFailed(String),
     /// The operation timed out.
     Timeout(String),
+    /// Pre-flight static analysis rejected a library or app before
+    /// submission; the payload is the rendered lint report.
+    Lint(String),
     /// Internal invariant violated (a bug in vine-rs itself).
     Internal(String),
 }
@@ -50,6 +53,7 @@ impl fmt::Display for VineError {
             VineError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             VineError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
             VineError::Timeout(msg) => write!(f, "timeout: {msg}"),
+            VineError::Lint(report) => write!(f, "rejected by pre-flight analysis:\n{report}"),
             VineError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -81,6 +85,10 @@ mod tests {
         assert_eq!(
             VineError::WorkerLost(WorkerId(3)).to_string(),
             "worker lost: w3"
+        );
+        assert_eq!(
+            VineError::Lint("error[V010]: bad".into()).to_string(),
+            "rejected by pre-flight analysis:\nerror[V010]: bad"
         );
     }
 

@@ -133,10 +133,7 @@ mod tests {
     #[test]
     fn hash_is_deterministic() {
         assert_eq!(ContentHash::of_str("hello"), ContentHash::of_str("hello"));
-        assert_eq!(
-            ContentHash::of_bytes(b"abc"),
-            ContentHash::of_bytes(b"abc")
-        );
+        assert_eq!(ContentHash::of_bytes(b"abc"), ContentHash::of_bytes(b"abc"));
     }
 
     #[test]

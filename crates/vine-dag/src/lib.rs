@@ -131,6 +131,42 @@ impl App {
         id
     }
 
+    /// Validate the whole DAG against the runtime before anything executes:
+    /// cycles, unknown libraries or functions, and arity mismatches are all
+    /// statically decidable at submit time (lints V033–V035), so a graph
+    /// whose node 10,000 is miswired fails here instead of an hour in.
+    pub fn preflight(&self) -> Result<()> {
+        let nodes: Vec<vine_lint::DagNode> = self
+            .nodes
+            .iter()
+            .map(|(id, n)| vine_lint::DagNode {
+                id: id.0,
+                library: n.library.clone(),
+                function: n.function.clone(),
+                argc: n.args.len(),
+                deps: n
+                    .args
+                    .iter()
+                    .filter_map(|a| match a {
+                        Arg::ResultOf(dep) => Some(dep.0),
+                        Arg::Val(_) => None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let diags = vine_lint::lint_dag(&nodes, &self.runtime.library_arities());
+        if diags
+            .iter()
+            .any(|d| d.severity == vine_lint::Severity::Error)
+        {
+            let mut report = vine_lint::Report::new("app dag");
+            report.extend(diags);
+            report.sort();
+            return Err(VineError::Lint(report.render()));
+        }
+        Ok(())
+    }
+
     fn submit_ready(&mut self) -> Result<()> {
         let ready: Vec<NodeId> = self
             .nodes
@@ -146,19 +182,30 @@ impl App {
                 match a {
                     Arg::Val(v) => values.push(v.clone()),
                     Arg::ResultOf(dep) => {
-                        let v = self.nodes[dep]
-                            .result
-                            .clone()
-                            .ok_or_else(|| {
-                                VineError::Internal(format!(
-                                    "node {id:?} ready but dep {dep:?} unresolved"
-                                ))
-                            })?;
+                        let v = self.nodes[dep].result.clone().ok_or_else(|| {
+                            VineError::Internal(format!(
+                                "node {id:?} ready but dep {dep:?} unresolved"
+                            ))
+                        })?;
                         values.push(v);
                     }
                 }
             }
             let node = self.nodes.get_mut(&id).unwrap();
+            // last line of defense for apps driving submit_ready through
+            // run(): an arity mismatch would otherwise only fail on the
+            // worker, after every upstream node already executed
+            if let Some(expected) = self.runtime.function_arity(&node.library, &node.function) {
+                if expected != node.args.len() {
+                    return Err(VineError::Lint(format!(
+                        "error[V034]: node {id:?} calls `{}.{}` with {} argument(s); it takes \
+                         {expected}",
+                        node.library,
+                        node.function,
+                        node.args.len()
+                    )));
+                }
+            }
             node.submitted = true;
             let mut call = FunctionCall::new(
                 InvocationId(id.0),
@@ -176,6 +223,7 @@ impl App {
     /// Fails fast on the first failed invocation (dependents of a failed
     /// node can never run).
     pub fn run(&mut self) -> Result<BTreeMap<NodeId, Value>> {
+        self.preflight()?;
         self.submit_ready()?;
         while let Some(outcome) = self.runtime.run_next()? {
             let UnitId::Call(inv) = outcome.unit else {
@@ -279,12 +327,12 @@ mod tests {
         let mut app = app(2);
         let root = app.invoke("m", "double", vec![Arg::Val(Value::Int(1))]);
         let left = app.invoke("m", "double", vec![Arg::ResultOf(root)]);
-        let right = app.invoke("m", "add", vec![Arg::ResultOf(root), Arg::Val(Value::Int(10))]);
-        let join = app.invoke(
+        let right = app.invoke(
             "m",
             "add",
-            vec![Arg::ResultOf(left), Arg::ResultOf(right)],
+            vec![Arg::ResultOf(root), Arg::Val(Value::Int(10))],
         );
+        let join = app.invoke("m", "add", vec![Arg::ResultOf(left), Arg::ResultOf(right)]);
         let results = app.run().unwrap();
         assert_eq!(results[&root], Value::Int(2));
         assert_eq!(results[&left], Value::Int(4));
@@ -319,6 +367,46 @@ mod tests {
         let _child = app.invoke("m", "double", vec![Arg::ResultOf(bad)]);
         let e = app.run().unwrap_err();
         assert!(e.to_string().contains("division by zero"), "{e}");
+    }
+
+    #[test]
+    fn preflight_rejects_arity_mismatch_before_anything_runs() {
+        let mut app = app(1);
+        // double takes 1 argument; the upstream node must never execute
+        let root = app.invoke("m", "double", vec![Arg::Val(Value::Int(1))]);
+        let _bad = app.invoke(
+            "m",
+            "double",
+            vec![Arg::ResultOf(root), Arg::Val(Value::Int(2))],
+        );
+        let e = app.run().unwrap_err();
+        assert!(e.to_string().contains("V034"), "{e}");
+        assert!(
+            app.result(root).is_none(),
+            "preflight must fire before any node executes"
+        );
+    }
+
+    #[test]
+    fn preflight_rejects_unknown_function_and_library() {
+        let mut app1 = app(1);
+        app1.invoke("m", "no_such_fn", vec![]);
+        let e = app1.run().unwrap_err();
+        assert!(e.to_string().contains("V035"), "{e}");
+
+        let mut app2 = app(1);
+        app2.invoke("ghostlib", "double", vec![Arg::Val(Value::Int(1))]);
+        let e = app2.run().unwrap_err();
+        assert!(e.to_string().contains("V035"), "{e}");
+    }
+
+    #[test]
+    fn preflight_passes_a_well_formed_dag() {
+        let mut app = app(1);
+        let a = app.invoke("m", "double", vec![Arg::Val(Value::Int(5))]);
+        let _b = app.invoke("m", "add", vec![Arg::ResultOf(a), Arg::Val(Value::Int(1))]);
+        app.preflight().expect("well-formed DAG");
+        app.shutdown();
     }
 
     #[test]

@@ -144,9 +144,9 @@ impl WorkerCache {
     /// Pinned files cannot be removed.
     pub fn remove(&mut self, hash: ContentHash) -> Result<()> {
         match self.entries.get(&hash) {
-            Some(e) if e.pins > 0 => Err(VineError::Data(format!(
-                "cannot remove pinned file {hash}"
-            ))),
+            Some(e) if e.pins > 0 => {
+                Err(VineError::Data(format!("cannot remove pinned file {hash}")))
+            }
             Some(_) => {
                 let e = self.entries.remove(&hash).unwrap();
                 self.used -= e.size;
@@ -164,9 +164,7 @@ impl WorkerCache {
             .min_by_key(|(_, e)| e.last_used)
             .map(|(h, _)| *h)
             .ok_or_else(|| {
-                VineError::ResourceExhausted(
-                    "cache full and every entry is pinned".into(),
-                )
+                VineError::ResourceExhausted("cache full and every entry is pinned".into())
             })?;
         let e = self.entries.remove(&victim).unwrap();
         self.used -= e.size;

@@ -144,9 +144,7 @@ mod tests {
         assert_eq!(store.get(f.id).unwrap().hash, f.hash);
         assert_eq!(store.lookup_hash(f.hash).unwrap().id, f.id);
         assert!(store.get(FileId(999)).is_err());
-        assert!(store
-            .lookup_hash(ContentHash::of_str("nope"))
-            .is_none());
+        assert!(store.lookup_hash(ContentHash::of_str("nope")).is_none());
     }
 
     #[test]

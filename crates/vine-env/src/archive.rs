@@ -92,7 +92,11 @@ mod tests {
                 .with_sizes(1000, 5000, 20)
                 .with_deps(vec![Requirement::any("blas")]),
         );
-        reg.add(PackageSpec::new("blas", v("3.0.0")).with_sizes(500, 2000, 10).no_module());
+        reg.add(
+            PackageSpec::new("blas", v("3.0.0"))
+                .with_sizes(500, 2000, 10)
+                .no_module(),
+        );
         if extra_pkg {
             reg.add(PackageSpec::new("extra", v("1.0.0")));
         }

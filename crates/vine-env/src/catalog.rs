@@ -188,8 +188,16 @@ mod tests {
     fn lnni_environment_matches_paper_exactly() {
         let reg = standard_registry();
         let res = resolve(&reg, &lnni_requirements()).unwrap();
-        assert_eq!(res.packages.len(), LNNI_PACKAGE_COUNT, "paper: 144 packages");
-        assert_eq!(res.packed_bytes(), LNNI_PACKED_BYTES, "paper: 572 MB packed");
+        assert_eq!(
+            res.packages.len(),
+            LNNI_PACKAGE_COUNT,
+            "paper: 144 packages"
+        );
+        assert_eq!(
+            res.packed_bytes(),
+            LNNI_PACKED_BYTES,
+            "paper: 572 MB packed"
+        );
         assert_eq!(
             res.unpacked_bytes(),
             LNNI_UNPACKED_BYTES,
@@ -264,11 +272,7 @@ mod tests {
         let reg = standard_registry();
         let newest = reg.best_match("dataframex", &[]).unwrap();
         assert_eq!(newest.version, Version(2, 1, 0));
-        let res = resolve(
-            &reg,
-            &[Requirement::exact("dataframex", Version(1, 4, 2))],
-        )
-        .unwrap();
+        let res = resolve(&reg, &[Requirement::exact("dataframex", Version(1, 4, 2))]).unwrap();
         assert!(res.contains("mathx"));
         assert_eq!(
             res.packages

@@ -6,9 +6,7 @@ use std::fmt;
 use vine_core::{Result, VineError};
 
 /// A semantic-ish version: major.minor.patch.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct Version(pub u32, pub u32, pub u32);
 
 impl Version {
@@ -183,11 +181,11 @@ impl PackageRegistry {
 
     /// The highest version of `name` satisfying all of `constraints`.
     pub fn best_match(&self, name: &str, constraints: &[Constraint]) -> Option<&PackageSpec> {
-        self.packages.get(name)?.values().rev().find(|spec| {
-            constraints
-                .iter()
-                .all(|c| c.satisfied_by(spec.version))
-        })
+        self.packages
+            .get(name)?
+            .values()
+            .rev()
+            .find(|spec| constraints.iter().all(|c| c.satisfied_by(spec.version)))
     }
 
     pub fn get(&self, name: &str, version: Version) -> Option<&PackageSpec> {
@@ -200,6 +198,16 @@ impl PackageRegistry {
 
     pub fn package_count(&self) -> usize {
         self.packages.values().map(|m| m.len()).sum()
+    }
+
+    /// Every vine-lang module name some version of some package provides.
+    /// Pre-flight analysis unions this with the native module registry to
+    /// decide whether an `import` can ever be satisfied.
+    pub fn provided_modules(&self) -> impl Iterator<Item = &str> {
+        self.packages
+            .values()
+            .flat_map(|m| m.values())
+            .filter_map(|spec| spec.provides_module.as_deref())
     }
 }
 
@@ -274,6 +282,15 @@ mod tests {
         assert_eq!(reg.package_count(), 3);
         assert!(reg.contains("a"));
         assert!(!reg.contains("c"));
+    }
+
+    #[test]
+    fn provided_modules_skips_moduleless_packages() {
+        let mut reg = PackageRegistry::new();
+        reg.add(PackageSpec::new("numpyish", v("1.0.0")));
+        reg.add(PackageSpec::new("libfoo", v("1.0.0")).no_module());
+        let mods: Vec<&str> = reg.provided_modules().collect();
+        assert_eq!(mods, vec!["numpyish"]);
     }
 
     #[test]

@@ -134,8 +134,10 @@ fn topo_order(
         InProgress,
         Done,
     }
-    let mut marks: BTreeMap<&str, Mark> =
-        chosen.keys().map(|n| (n.as_str(), Mark::Unvisited)).collect();
+    let mut marks: BTreeMap<&str, Mark> = chosen
+        .keys()
+        .map(|n| (n.as_str(), Mark::Unvisited))
+        .collect();
     let mut order: Vec<PackageSpec> = Vec::with_capacity(chosen.len());
 
     fn visit<'a>(
@@ -194,18 +196,13 @@ mod tests {
 
     fn simple_registry() -> PackageRegistry {
         let mut reg = PackageRegistry::new();
-        reg.add(
-            PackageSpec::new("app", v("1.0.0")).with_deps(vec![
-                Requirement::at_least("libx", v("1.0.0")),
-                Requirement::any("liby"),
-            ]),
-        );
+        reg.add(PackageSpec::new("app", v("1.0.0")).with_deps(vec![
+            Requirement::at_least("libx", v("1.0.0")),
+            Requirement::any("liby"),
+        ]));
         reg.add(PackageSpec::new("libx", v("1.0.0")));
         reg.add(PackageSpec::new("libx", v("2.0.0")));
-        reg.add(
-            PackageSpec::new("liby", v("1.0.0"))
-                .with_deps(vec![Requirement::any("libz")]),
-        );
+        reg.add(PackageSpec::new("liby", v("1.0.0")).with_deps(vec![Requirement::any("libz")]));
         reg.add(PackageSpec::new("libz", v("0.1.0")));
         reg
     }
@@ -223,7 +220,11 @@ mod tests {
         assert!(pos("libz") < pos("liby"));
         // highest version of libx selected
         assert_eq!(
-            res.packages.iter().find(|p| p.name == "libx").unwrap().version,
+            res.packages
+                .iter()
+                .find(|p| p.name == "libx")
+                .unwrap()
+                .version,
             v("2.0.0")
         );
     }
@@ -240,7 +241,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            res.packages.iter().find(|p| p.name == "libx").unwrap().version,
+            res.packages
+                .iter()
+                .find(|p| p.name == "libx")
+                .unwrap()
+                .version,
             v("1.0.0")
         );
     }
@@ -269,9 +274,7 @@ mod tests {
     #[test]
     fn missing_transitive_dep_errors() {
         let mut reg = PackageRegistry::new();
-        reg.add(
-            PackageSpec::new("a", v("1.0.0")).with_deps(vec![Requirement::any("ghost")]),
-        );
+        reg.add(PackageSpec::new("a", v("1.0.0")).with_deps(vec![Requirement::any("ghost")]));
         let e = resolve(&reg, &[Requirement::any("a")]).unwrap_err();
         assert!(e.to_string().contains("ghost"));
     }
@@ -299,23 +302,15 @@ mod tests {
         // constraint forces web back to v1, and the final closure must
         // contain http1, not http2.
         let mut reg = PackageRegistry::new();
-        reg.add(
-            PackageSpec::new("web", v("2.0.0")).with_deps(vec![Requirement::any("http2")]),
-        );
-        reg.add(
-            PackageSpec::new("web", v("1.0.0")).with_deps(vec![Requirement::any("http1")]),
-        );
+        reg.add(PackageSpec::new("web", v("2.0.0")).with_deps(vec![Requirement::any("http2")]));
+        reg.add(PackageSpec::new("web", v("1.0.0")).with_deps(vec![Requirement::any("http1")]));
         reg.add(PackageSpec::new("http1", v("1.0.0")));
         reg.add(PackageSpec::new("http2", v("1.0.0")));
         reg.add(
             PackageSpec::new("site", v("1.0.0"))
                 .with_deps(vec![Requirement::exact("web", v("1.0.0"))]),
         );
-        let res = resolve(
-            &reg,
-            &[Requirement::any("web"), Requirement::any("site")],
-        )
-        .unwrap();
+        let res = resolve(&reg, &[Requirement::any("web"), Requirement::any("site")]).unwrap();
         assert!(res.contains("http1"));
         // http2 may remain from the first round's walk only if constraints
         // still reference it; the fixpoint walk re-derives from chosen
@@ -327,24 +322,15 @@ mod tests {
     fn diamond_dependency_is_deduplicated() {
         let mut reg = PackageRegistry::new();
         reg.add(
-            PackageSpec::new("top", v("1.0.0")).with_deps(vec![
-                Requirement::any("left"),
-                Requirement::any("right"),
-            ]),
+            PackageSpec::new("top", v("1.0.0"))
+                .with_deps(vec![Requirement::any("left"), Requirement::any("right")]),
         );
-        reg.add(
-            PackageSpec::new("left", v("1.0.0")).with_deps(vec![Requirement::any("base")]),
-        );
-        reg.add(
-            PackageSpec::new("right", v("1.0.0")).with_deps(vec![Requirement::any("base")]),
-        );
+        reg.add(PackageSpec::new("left", v("1.0.0")).with_deps(vec![Requirement::any("base")]));
+        reg.add(PackageSpec::new("right", v("1.0.0")).with_deps(vec![Requirement::any("base")]));
         reg.add(PackageSpec::new("base", v("1.0.0")));
         let res = resolve(&reg, &[Requirement::any("top")]).unwrap();
         assert_eq!(res.packages.len(), 4);
-        assert_eq!(
-            res.packages.iter().filter(|p| p.name == "base").count(),
-            1
-        );
+        assert_eq!(res.packages.iter().filter(|p| p.name == "base").count(), 1);
     }
 
     #[test]
@@ -355,7 +341,11 @@ mod tests {
                 .with_sizes(100, 1000, 10)
                 .with_deps(vec![Requirement::any("b")]),
         );
-        reg.add(PackageSpec::new("b", v("1.0.0")).with_sizes(50, 500, 5).no_module());
+        reg.add(
+            PackageSpec::new("b", v("1.0.0"))
+                .with_sizes(50, 500, 5)
+                .no_module(),
+        );
         let res = resolve(&reg, &[Requirement::any("a")]).unwrap();
         assert_eq!(res.packed_bytes(), 150);
         assert_eq!(res.unpacked_bytes(), 1500);

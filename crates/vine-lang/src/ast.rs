@@ -5,8 +5,79 @@
 //! ([`crate::inspect::scan_imports`]), and the serializer
 //! ([`crate::pickle`]) encodes it byte-for-byte so functions without a
 //! source form can still be shipped to workers.
+//!
+//! Statements and function definitions carry byte-offset [`Span`]s into
+//! their source text so static analysis ([`vine-lint`]) and error messages
+//! can point at real locations. Spans are *metadata*: they never
+//! participate in AST equality or in the pickle encoding, so a reformatted
+//! program compares equal to the original and serialized code objects stay
+//! bit-identical to the pre-span format.
 
 use std::rc::Rc;
+
+/// A half-open byte range `[start, end)` into the source text a node was
+/// parsed from.
+///
+/// Equality is intentionally vacuous: two spans always compare equal (and
+/// hash identically), so `#[derive(PartialEq)]` on AST nodes compares
+/// *structure only*. A program that is parsed, pretty-printed, and parsed
+/// again compares equal to the original even though every span moved.
+#[derive(Clone, Copy, Debug, Eq)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    /// The span of synthesized nodes (deserialized code objects, generated
+    /// `context_setup` functions): no source position.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: usize, end: usize) -> Span {
+        Span {
+            start: start as u32,
+            end: end.max(start) as u32,
+        }
+    }
+
+    /// True for spans of synthesized nodes that have no source location.
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// 1-based (line, column) of the span start within `src`. Columns count
+    /// bytes from the line start, which is exact for the ASCII-only lexical
+    /// grammar.
+    pub fn line_col(&self, src: &str) -> (u32, u32) {
+        let upto = &src.as_bytes()[..(self.start as usize).min(src.len())];
+        let line = 1 + upto.iter().filter(|b| **b == b'\n').count() as u32;
+        let col = 1 + upto.iter().rev().take_while(|b| **b != b'\n').count() as u32;
+        (line, col)
+    }
+
+    /// The source text this span covers.
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        let start = (self.start as usize).min(src.len());
+        let end = (self.end as usize).min(src.len()).max(start);
+        &src[start..end]
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true
+    }
+}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl Default for Span {
+    fn default() -> Span {
+        Span::DUMMY
+    }
+}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BinOp {
@@ -61,8 +132,35 @@ pub enum Target {
     Index(Expr, Expr),
 }
 
+/// A statement: what it does ([`StmtKind`]) plus where it came from.
 #[derive(Clone, Debug, PartialEq)]
-pub enum Stmt {
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+}
+
+impl Stmt {
+    pub fn new(kind: StmtKind, span: Span) -> Stmt {
+        Stmt { kind, span }
+    }
+
+    /// A synthesized statement with no source location.
+    pub fn dummy(kind: StmtKind) -> Stmt {
+        Stmt {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+}
+
+impl From<StmtKind> for Stmt {
+    fn from(kind: StmtKind) -> Stmt {
+        Stmt::dummy(kind)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
     Import(String),
     FuncDef(Rc<FuncDef>),
     Assign(Target, Expr),
@@ -84,11 +182,23 @@ pub struct FuncDef {
     pub name: String,
     pub params: Vec<String>,
     pub body: Vec<Stmt>,
+    /// Source span of the whole definition ([`Span::DUMMY`] when
+    /// synthesized or deserialized).
+    pub span: Span,
 }
 
 pub type Program = Vec<Stmt>;
 
 impl FuncDef {
+    pub fn new(name: impl Into<String>, params: Vec<String>, body: Vec<Stmt>) -> FuncDef {
+        FuncDef {
+            name: name.into(),
+            params,
+            body,
+            span: Span::DUMMY,
+        }
+    }
+
     pub fn is_lambda(&self) -> bool {
         self.name.is_empty()
     }
@@ -100,9 +210,9 @@ impl FuncDef {
 pub fn walk_stmts<'a>(stmts: &'a [Stmt], visit: &mut dyn FnMut(&'a Stmt)) {
     for s in stmts {
         visit(s);
-        match s {
-            Stmt::FuncDef(f) => walk_stmts(&f.body, visit),
-            Stmt::If(arms, els) => {
+        match &s.kind {
+            StmtKind::FuncDef(f) => walk_stmts(&f.body, visit),
+            StmtKind::If(arms, els) => {
                 for (_, body) in arms {
                     walk_stmts(body, visit);
                 }
@@ -110,8 +220,8 @@ pub fn walk_stmts<'a>(stmts: &'a [Stmt], visit: &mut dyn FnMut(&'a Stmt)) {
                     walk_stmts(e, visit);
                 }
             }
-            Stmt::While(_, body) | Stmt::For(_, _, body) => walk_stmts(body, visit),
-            Stmt::Assign(_, e) | Stmt::Expr(e) | Stmt::Return(Some(e)) => {
+            StmtKind::While(_, body) | StmtKind::For(_, _, body) => walk_stmts(body, visit),
+            StmtKind::Assign(_, e) | StmtKind::Expr(e) | StmtKind::Return(Some(e)) => {
                 walk_exprs_in(e, &mut |expr| {
                     if let Expr::Lambda(f) = expr {
                         walk_stmts(&f.body, visit);
@@ -164,16 +274,12 @@ mod tests {
 
     #[test]
     fn walk_visits_nested_function_bodies() {
-        let inner = Stmt::Import("nn".into());
-        let f = FuncDef {
-            name: "f".into(),
-            params: vec![],
-            body: vec![inner],
-        };
-        let prog = vec![Stmt::FuncDef(Rc::new(f))];
+        let inner = Stmt::dummy(StmtKind::Import("nn".into()));
+        let f = FuncDef::new("f", vec![], vec![inner]);
+        let prog = vec![Stmt::dummy(StmtKind::FuncDef(Rc::new(f)))];
         let mut imports = Vec::new();
         walk_stmts(&prog, &mut |s| {
-            if let Stmt::Import(m) = s {
+            if let StmtKind::Import(m) = &s.kind {
                 imports.push(m.clone());
             }
         });
@@ -182,15 +288,18 @@ mod tests {
 
     #[test]
     fn walk_visits_lambda_bodies_in_expressions() {
-        let lambda = Expr::Lambda(Rc::new(FuncDef {
-            name: String::new(),
-            params: vec!["x".into()],
-            body: vec![Stmt::Import("mathx".into())],
-        }));
-        let prog = vec![Stmt::Assign(Target::Var("g".into()), lambda)];
+        let lambda = Expr::Lambda(Rc::new(FuncDef::new(
+            "",
+            vec!["x".into()],
+            vec![Stmt::dummy(StmtKind::Import("mathx".into()))],
+        )));
+        let prog = vec![Stmt::dummy(StmtKind::Assign(
+            Target::Var("g".into()),
+            lambda,
+        ))];
         let mut imports = Vec::new();
         walk_stmts(&prog, &mut |s| {
-            if let Stmt::Import(m) = s {
+            if let StmtKind::Import(m) = &s.kind {
                 imports.push(m.clone());
             }
         });
@@ -199,11 +308,24 @@ mod tests {
 
     #[test]
     fn lambda_detection() {
-        let f = FuncDef {
-            name: String::new(),
-            params: vec![],
-            body: vec![],
-        };
+        let f = FuncDef::new("", vec![], vec![]);
         assert!(f.is_lambda());
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let a = Stmt::new(StmtKind::Break, Span::new(10, 15));
+        let b = Stmt::dummy(StmtKind::Break);
+        assert_eq!(a, b);
+        assert_ne!(a.span.start, b.span.start);
+    }
+
+    #[test]
+    fn span_line_col() {
+        let src = "x = 1\ny = 2\n  z = 3";
+        let span = Span::new(src.find('z').unwrap(), src.len());
+        assert_eq!(span.line_col(src), (3, 3));
+        assert_eq!(span.slice(src), "z = 3");
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
     }
 }

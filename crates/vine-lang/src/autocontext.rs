@@ -24,7 +24,7 @@
 //! as effectful and kept in original order within the hoisted prefix only
 //! if every name they touch is itself hoistable.
 
-use crate::ast::{walk_exprs_in, Expr, FuncDef, Program, Stmt, Target};
+use crate::ast::{walk_exprs_in, Expr, FuncDef, Program, Stmt, StmtKind, Target};
 use crate::inspect::{format_funcdef, format_program};
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -51,11 +51,11 @@ pub struct DiscoveredContext {
 }
 
 /// Names a statement defines at module level.
-fn defined_names(stmt: &Stmt) -> Vec<String> {
-    match stmt {
-        Stmt::Import(name) => vec![name.clone()],
-        Stmt::FuncDef(f) => vec![f.name.clone()],
-        Stmt::Assign(Target::Var(name), _) => vec![name.clone()],
+pub(crate) fn defined_names(stmt: &Stmt) -> Vec<String> {
+    match &stmt.kind {
+        StmtKind::Import(name) => vec![name.clone()],
+        StmtKind::FuncDef(f) => vec![f.name.clone()],
+        StmtKind::Assign(Target::Var(name), _) => vec![name.clone()],
         _ => Vec::new(),
     }
 }
@@ -70,10 +70,10 @@ fn expr_reads(e: &Expr, out: &mut BTreeSet<String>) {
 }
 
 /// Names a statement (transitively, through nested blocks) reads.
-fn stmt_reads(stmt: &Stmt, out: &mut BTreeSet<String>) {
-    match stmt {
-        Stmt::Import(_) | Stmt::Break | Stmt::Continue | Stmt::Global(_) => {}
-        Stmt::FuncDef(f) => {
+pub(crate) fn stmt_reads(stmt: &Stmt, out: &mut BTreeSet<String>) {
+    match &stmt.kind {
+        StmtKind::Import(_) | StmtKind::Break | StmtKind::Continue | StmtKind::Global(_) => {}
+        StmtKind::FuncDef(f) => {
             // a function definition "reads" its free variables at call time;
             // conservatively collect everything its body mentions
             for s in &f.body {
@@ -83,14 +83,14 @@ fn stmt_reads(stmt: &Stmt, out: &mut BTreeSet<String>) {
                 out.remove(p);
             }
         }
-        Stmt::Assign(target, e) => {
+        StmtKind::Assign(target, e) => {
             if let Target::Index(obj, idx) = target {
                 expr_reads(obj, out);
                 expr_reads(idx, out);
             }
             expr_reads(e, out);
         }
-        Stmt::If(arms, els) => {
+        StmtKind::If(arms, els) => {
             for (c, body) in arms {
                 expr_reads(c, out);
                 for s in body {
@@ -103,42 +103,42 @@ fn stmt_reads(stmt: &Stmt, out: &mut BTreeSet<String>) {
                 }
             }
         }
-        Stmt::While(c, body) => {
+        StmtKind::While(c, body) => {
             expr_reads(c, out);
             for s in body {
                 stmt_reads(s, out);
             }
         }
-        Stmt::For(var, iter, body) => {
+        StmtKind::For(var, iter, body) => {
             expr_reads(iter, out);
             for s in body {
                 stmt_reads(s, out);
             }
             out.remove(var);
         }
-        Stmt::Return(Some(e)) | Stmt::Expr(e) => expr_reads(e, out),
-        Stmt::Return(None) => {}
+        StmtKind::Return(Some(e)) | StmtKind::Expr(e) => expr_reads(e, out),
+        StmtKind::Return(None) => {}
     }
 }
 
 /// Global names a function writes (assignments to names it declared
 /// `global`, directly or in nested blocks).
-fn function_global_writes(def: &FuncDef) -> BTreeSet<String> {
+pub(crate) fn function_global_writes(def: &FuncDef) -> BTreeSet<String> {
     let mut declared = BTreeSet::new();
     crate::ast::walk_stmts(&def.body, &mut |s| {
-        if let Stmt::Global(names) = s {
+        if let StmtKind::Global(names) = &s.kind {
             declared.extend(names.iter().cloned());
         }
     });
     let mut written = BTreeSet::new();
     crate::ast::walk_stmts(&def.body, &mut |s| {
-        if let Stmt::Assign(Target::Var(name), _) = s {
+        if let StmtKind::Assign(Target::Var(name), _) = &s.kind {
             if declared.contains(name) {
                 written.insert(name.clone());
             }
         }
         // index-assignments into a global container mutate it too
-        if let Stmt::Assign(Target::Index(Expr::Var(name), _), _) = s {
+        if let StmtKind::Assign(Target::Index(Expr::Var(name), _), _) = &s.kind {
             if declared.contains(name) {
                 written.insert(name.clone());
             }
@@ -154,7 +154,7 @@ pub fn discover(module_src: &str, work_functions: &[&str]) -> Result<DiscoveredC
     // locate the work functions and the helpers they transitively call
     let mut funcs: Vec<Rc<FuncDef>> = Vec::new();
     for stmt in &prog {
-        if let Stmt::FuncDef(f) = stmt {
+        if let StmtKind::FuncDef(f) = &stmt.kind {
             funcs.push(Rc::clone(f));
         }
     }
@@ -178,7 +178,7 @@ pub fn discover(module_src: &str, work_functions: &[&str]) -> Result<DiscoveredC
             continue;
         }
         let mut reads = BTreeSet::new();
-        stmt_reads(&Stmt::FuncDef(Rc::clone(&f)), &mut reads);
+        stmt_reads(&Stmt::dummy(StmtKind::FuncDef(Rc::clone(&f))), &mut reads);
         for name in &reads {
             if let Ok(helper) = find(name) {
                 queue.push(helper);
@@ -201,7 +201,7 @@ pub fn discover(module_src: &str, work_functions: &[&str]) -> Result<DiscoveredC
     let mut imports: BTreeSet<String> = BTreeSet::new();
 
     for stmt in &prog {
-        if let Stmt::FuncDef(f) = stmt {
+        if let StmtKind::FuncDef(f) = &stmt.kind {
             // function definitions travel as code, not as context setup
             hoistable_names.insert(f.name.clone());
             continue;
@@ -210,7 +210,10 @@ pub fn discover(module_src: &str, work_functions: &[&str]) -> Result<DiscoveredC
         let mut reads = BTreeSet::new();
         stmt_reads(stmt, &mut reads);
 
-        let touches_mutated = defines.iter().chain(reads.iter()).any(|n| mutated.contains(n));
+        let touches_mutated = defines
+            .iter()
+            .chain(reads.iter())
+            .any(|n| mutated.contains(n));
         // every module-level name it reads must itself be hoisted (builtins
         // and locals are not module-level defines, so only check names some
         // earlier statement defined)
@@ -221,7 +224,7 @@ pub fn discover(module_src: &str, work_functions: &[&str]) -> Result<DiscoveredC
             residue.push(format_program(&vec![stmt.clone()]).trim_end().to_string());
             continue;
         }
-        if let Stmt::Import(m) = stmt {
+        if let StmtKind::Import(m) = &stmt.kind {
             imports.insert(m.clone());
         }
         hoistable_names.extend(defines.iter().cloned());
@@ -245,18 +248,14 @@ pub fn discover(module_src: &str, work_functions: &[&str]) -> Result<DiscoveredC
     let mut published: Vec<String> = hoisted.iter().flat_map(defined_names).collect();
     published.sort();
     published.dedup();
-    let setup = FuncDef {
-        name: "context_setup".into(),
-        params: vec![],
-        body: {
-            let mut body = Vec::new();
-            if !published.is_empty() {
-                body.push(Stmt::Global(published));
-            }
-            body.extend(hoisted.iter().cloned());
-            body
-        },
-    };
+    let setup = FuncDef::new("context_setup", vec![], {
+        let mut body = Vec::new();
+        if !published.is_empty() {
+            body.push(Stmt::dummy(StmtKind::Global(published)));
+        }
+        body.extend(hoisted.iter().cloned());
+        body
+    });
 
     // the code artifact: every needed function, in module order
     let mut code_source = String::new();
@@ -326,8 +325,7 @@ mod tests {
     #[test]
     fn synthesized_setup_actually_runs() {
         let ctx = discover(MODULE, &["infer"]).unwrap();
-        let mut interp =
-            Interp::with_registry(vine_lang_test_registry());
+        let mut interp = Interp::with_registry(vine_lang_test_registry());
         interp.exec_source(&ctx.setup_source).unwrap();
         interp.exec_source(&ctx.code_source).unwrap();
         interp.exec_source("context_setup()").unwrap();
@@ -355,9 +353,7 @@ mod tests {
                     Ok(crate::Value::Int(layers * 1000))
                 }),
                 native("forward", |args| {
-                    Ok(crate::Value::Int(
-                        args[0].as_int()? + args[1].as_int()?,
-                    ))
+                    Ok(crate::Value::Int(args[0].as_int()? + args[1].as_int()?))
                 }),
             ]
         });

@@ -10,6 +10,20 @@ use crate::interp::Interp;
 use crate::value::{Tensor, Value};
 use vine_core::{Result, VineError};
 
+/// Every name [`call_builtin`] dispatches, for static analysis: a free
+/// variable with one of these names resolves without any definition in
+/// scope. Must stay in sync with the dispatch table below (a test checks).
+pub const BUILTIN_NAMES: &[&str] = &[
+    "len", "range", "print", "push", "pop", "keys", "has_key", "str", "int", "float", "abs", "min",
+    "max", "sum", "sqrt", "floor", "ceil", "pow", "contains", "sorted", "join", "split", "type",
+    "zeros", "tensor", "eval", "exec",
+];
+
+/// Is `name` a builtin? (Scripts may still shadow it with a definition.)
+pub fn is_builtin(name: &str) -> bool {
+    BUILTIN_NAMES.contains(&name)
+}
+
 fn arity(name: &str, args: &[Value], want: usize) -> Result<()> {
     if args.len() != want {
         return Err(VineError::Lang(format!(
@@ -32,12 +46,7 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
                 Value::List(l) => l.borrow().len() as i64,
                 Value::Dict(d) => d.borrow().len() as i64,
                 Value::Tensor(t) => t.len() as i64,
-                other => {
-                    return Err(VineError::Lang(format!(
-                        "len() of {}",
-                        other.type_name()
-                    )))
-                }
+                other => return Err(VineError::Lang(format!("len() of {}", other.type_name()))),
             }))
         }
         "range" => {
@@ -68,12 +77,7 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
                     l.borrow_mut().push(args[1].clone());
                     Some(Value::None)
                 }
-                other => {
-                    return Err(VineError::Lang(format!(
-                        "push() on {}",
-                        other.type_name()
-                    )))
-                }
+                other => return Err(VineError::Lang(format!("push() on {}", other.type_name()))),
             }
         }
         "pop" => {
@@ -84,9 +88,7 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
                         .pop()
                         .ok_or_else(|| VineError::Lang("pop() from empty list".into()))?,
                 ),
-                other => {
-                    return Err(VineError::Lang(format!("pop() on {}", other.type_name())))
-                }
+                other => return Err(VineError::Lang(format!("pop() on {}", other.type_name()))),
             }
         }
         "keys" => {
@@ -95,12 +97,7 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
                 Value::Dict(d) => Some(Value::list(
                     d.borrow().keys().map(|k| Value::str(k.clone())).collect(),
                 )),
-                other => {
-                    return Err(VineError::Lang(format!(
-                        "keys() on {}",
-                        other.type_name()
-                    )))
-                }
+                other => return Err(VineError::Lang(format!("keys() on {}", other.type_name()))),
             }
         }
         "has_key" => {
@@ -129,12 +126,7 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
                     .trim()
                     .parse()
                     .map_err(|_| VineError::Lang(format!("int() cannot parse '{s}'")))?,
-                other => {
-                    return Err(VineError::Lang(format!(
-                        "int() of {}",
-                        other.type_name()
-                    )))
-                }
+                other => return Err(VineError::Lang(format!("int() of {}", other.type_name()))),
             }))
         }
         "float" => {
@@ -191,9 +183,11 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
                     let mut any_float = false;
                     for item in items.iter() {
                         match item {
-                            Value::Int(v) => acc_i = acc_i.checked_add(*v).ok_or_else(|| {
-                                VineError::Lang("integer overflow in sum()".into())
-                            })?,
+                            Value::Int(v) => {
+                                acc_i = acc_i.checked_add(*v).ok_or_else(|| {
+                                    VineError::Lang("integer overflow in sum()".into())
+                                })?
+                            }
                             other => {
                                 any_float = true;
                                 acc_f += other.as_float()?;
@@ -207,9 +201,7 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
                     })
                 }
                 Value::Tensor(t) => Some(Value::Float(t.data.iter().sum())),
-                other => {
-                    return Err(VineError::Lang(format!("sum() of {}", other.type_name())))
-                }
+                other => return Err(VineError::Lang(format!("sum() of {}", other.type_name()))),
             }
         }
         "sqrt" => {
@@ -232,9 +224,10 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
             arity(name, args, 2)?;
             match (&args[0], &args[1]) {
                 (Value::Int(a), Value::Int(b)) if *b >= 0 => Some(Value::Int(
-                    a.checked_pow((*b).try_into().map_err(|_| {
-                        VineError::Lang("pow() exponent too large".into())
-                    })?)
+                    a.checked_pow(
+                        (*b).try_into()
+                            .map_err(|_| VineError::Lang("pow() exponent too large".into()))?,
+                    )
                     .ok_or_else(|| VineError::Lang("integer overflow in pow()".into()))?,
                 )),
                 _ => Some(Value::Float(args[0].as_float()?.powf(args[1].as_float()?))),
@@ -260,21 +253,17 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
                 Value::List(l) => {
                     let mut items = l.borrow().clone();
                     let mut failed = None;
-                    items.sort_by(|a, b| {
-                        match (a.as_float(), b.as_float()) {
-                            (Ok(x), Ok(y)) => {
-                                x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                    items.sort_by(|a, b| match (a.as_float(), b.as_float()) {
+                        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                        _ => match (a, b) {
+                            (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                            _ => {
+                                failed = Some(VineError::Lang(
+                                    "sorted() of mixed non-numeric values".into(),
+                                ));
+                                std::cmp::Ordering::Equal
                             }
-                            _ => match (a, b) {
-                                (Value::Str(x), Value::Str(y)) => x.cmp(y),
-                                _ => {
-                                    failed = Some(VineError::Lang(
-                                        "sorted() of mixed non-numeric values".into(),
-                                    ));
-                                    std::cmp::Ordering::Equal
-                                }
-                            },
-                        }
+                        },
                     });
                     if let Some(e) = failed {
                         return Err(e);
@@ -294,16 +283,10 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
             let sep = args[0].as_str()?;
             match &args[1] {
                 Value::List(l) => {
-                    let parts: Vec<String> =
-                        l.borrow().iter().map(|v| v.to_string()).collect();
+                    let parts: Vec<String> = l.borrow().iter().map(|v| v.to_string()).collect();
                     Some(Value::str(parts.join(sep)))
                 }
-                other => {
-                    return Err(VineError::Lang(format!(
-                        "join() of {}",
-                        other.type_name()
-                    )))
-                }
+                other => return Err(VineError::Lang(format!("join() of {}", other.type_name()))),
             }
         }
         "split" => {
@@ -327,8 +310,7 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
             arity(name, args, 1)?;
             match &args[0] {
                 Value::List(l) => {
-                    let data: Result<Vec<f64>> =
-                        l.borrow().iter().map(|v| v.as_float()).collect();
+                    let data: Result<Vec<f64>> = l.borrow().iter().map(|v| v.as_float()).collect();
                     let data = data?;
                     let n = data.len();
                     Some(Value::tensor(Tensor::new(vec![n], data)?))
@@ -359,8 +341,11 @@ pub fn call_builtin(interp: &mut Interp, name: &str, args: &[Value]) -> Result<O
 
 fn shape_from(v: &Value) -> Result<Vec<usize>> {
     match v {
-        Value::Int(n) => Ok(vec![usize::try_from(*n)
-            .map_err(|_| VineError::Lang("negative tensor dimension".into()))?]),
+        Value::Int(n) => {
+            Ok(vec![usize::try_from(*n).map_err(|_| {
+                VineError::Lang("negative tensor dimension".into())
+            })?])
+        }
         Value::List(l) => l
             .borrow()
             .iter()
@@ -513,5 +498,23 @@ mod tests {
     fn pop_and_push() {
         assert_eq!(eval("pop([1, 2, 3])"), Value::Int(3));
         assert!(eval_err("pop([])").contains("empty"));
+    }
+
+    #[test]
+    fn builtin_names_match_dispatch_table() {
+        let mut interp = Interp::new();
+        for name in BUILTIN_NAMES {
+            // every listed name must dispatch (an Ok(Some) or an arity/type
+            // error) — Ok(None) would mean the list has drifted from the table
+            let dispatched = match call_builtin(&mut interp, name, &[]) {
+                Ok(Some(_)) => true,
+                Ok(None) => false,
+                Err(_) => true,
+            };
+            assert!(dispatched, "'{name}' listed but not dispatched");
+            assert!(is_builtin(name));
+        }
+        assert!(!is_builtin("model"));
+        assert!(!is_builtin("context_setup"));
     }
 }

@@ -15,7 +15,7 @@
 //!   (sub-expressions are fully parenthesized, making round-tripping
 //!   trivially precedence-safe).
 
-use crate::ast::{walk_stmts, BinOp, Expr, FuncDef, Program, Stmt, Target, UnOp};
+use crate::ast::{walk_stmts, BinOp, Expr, FuncDef, Program, Stmt, StmtKind, Target, UnOp};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
@@ -26,7 +26,7 @@ use std::fmt::Write as _;
 pub fn extract_source(module_src: &str, name: &str) -> Option<String> {
     let prog = crate::parse(module_src).ok()?;
     for stmt in &prog {
-        if let Stmt::FuncDef(def) = stmt {
+        if let StmtKind::FuncDef(def) = &stmt.kind {
             if def.name == name {
                 return Some(format_funcdef(def));
             }
@@ -40,7 +40,7 @@ pub fn extract_source(module_src: &str, name: &str) -> Option<String> {
 pub fn scan_imports(stmts: &[Stmt]) -> Vec<String> {
     let mut found = BTreeSet::new();
     walk_stmts(stmts, &mut |s| {
-        if let Stmt::Import(name) = s {
+        if let StmtKind::Import(name) = &s.kind {
             found.insert(name.clone());
         }
     });
@@ -126,12 +126,9 @@ pub fn format_expr(e: &Expr) -> String {
         }
         Expr::Unary(UnOp::Neg, inner) => format!("(-{})", format_expr(inner)),
         Expr::Unary(UnOp::Not, inner) => format!("(not {})", format_expr(inner)),
-        Expr::Binary(op, l, r) => format!(
-            "({} {} {})",
-            format_expr(l),
-            binop_str(*op),
-            format_expr(r)
-        ),
+        Expr::Binary(op, l, r) => {
+            format!("({} {} {})", format_expr(l), binop_str(*op), format_expr(r))
+        }
         Expr::Lambda(def) => {
             let mut s = format!("fn ({}) {{\n", def.params.join(", "));
             write_block(&mut s, &def.body, 1);
@@ -160,11 +157,11 @@ fn write_block(out: &mut String, stmts: &[Stmt], depth: usize) {
 
 fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
     let pad = "    ".repeat(depth);
-    match s {
-        Stmt::Import(name) => {
+    match &s.kind {
+        StmtKind::Import(name) => {
             let _ = writeln!(out, "{pad}import {name}");
         }
-        Stmt::FuncDef(def) => {
+        StmtKind::FuncDef(def) => {
             let _ = writeln!(out, "{pad}def {}({}) {{", def.name, def.params.join(", "));
             write_block(out, &def.body, depth + 1);
             let _ = writeln!(out, "{pad}}}");
@@ -172,10 +169,10 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
         // statements ending in an expression get a ';' so a following
         // statement that begins with '[' or '(' cannot merge into them
         // (the grammar is newline-insensitive)
-        Stmt::Assign(Target::Var(name), e) => {
+        StmtKind::Assign(Target::Var(name), e) => {
             let _ = writeln!(out, "{pad}{name} = {};", format_expr(e));
         }
-        Stmt::Assign(Target::Index(obj, idx), e) => {
+        StmtKind::Assign(Target::Index(obj, idx), e) => {
             let _ = writeln!(
                 out,
                 "{pad}{}[{}] = {};",
@@ -184,10 +181,10 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
                 format_expr(e)
             );
         }
-        Stmt::Global(names) => {
+        StmtKind::Global(names) => {
             let _ = writeln!(out, "{pad}global {}", names.join(", "));
         }
-        Stmt::If(arms, els) => {
+        StmtKind::If(arms, els) => {
             for (i, (cond, body)) in arms.iter().enumerate() {
                 let kw = if i == 0 { "if" } else { "elif" };
                 let _ = writeln!(out, "{pad}{kw} {} {{", format_expr(cond));
@@ -205,29 +202,29 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
                 let _ = writeln!(out, "{pad}}}");
             }
         }
-        Stmt::While(cond, body) => {
+        StmtKind::While(cond, body) => {
             let _ = writeln!(out, "{pad}while {} {{", format_expr(cond));
             write_block(out, body, depth + 1);
             let _ = writeln!(out, "{pad}}}");
         }
-        Stmt::For(var, iter, body) => {
+        StmtKind::For(var, iter, body) => {
             let _ = writeln!(out, "{pad}for {var} in {} {{", format_expr(iter));
             write_block(out, body, depth + 1);
             let _ = writeln!(out, "{pad}}}");
         }
-        Stmt::Return(Some(e)) => {
+        StmtKind::Return(Some(e)) => {
             let _ = writeln!(out, "{pad}return {};", format_expr(e));
         }
-        Stmt::Return(None) => {
+        StmtKind::Return(None) => {
             let _ = writeln!(out, "{pad}return;");
         }
-        Stmt::Break => {
+        StmtKind::Break => {
             let _ = writeln!(out, "{pad}break");
         }
-        Stmt::Continue => {
+        StmtKind::Continue => {
             let _ = writeln!(out, "{pad}continue");
         }
-        Stmt::Expr(e) => {
+        StmtKind::Expr(e) => {
             let _ = writeln!(out, "{pad}{};", format_expr(e));
         }
     }
@@ -243,7 +240,11 @@ pub fn format_program(prog: &Program) -> String {
 /// Canonical source form of one function definition.
 pub fn format_funcdef(def: &FuncDef) -> String {
     let mut out = String::new();
-    write_stmt(&mut out, &Stmt::FuncDef(std::rc::Rc::new(def.clone())), 0);
+    write_stmt(
+        &mut out,
+        &Stmt::dummy(StmtKind::FuncDef(std::rc::Rc::new(def.clone()))),
+        0,
+    );
     out
 }
 
@@ -307,8 +308,8 @@ mod tests {
         let prog = crate::parse(MODULE).unwrap();
         let infer = prog
             .iter()
-            .find_map(|s| match s {
-                Stmt::FuncDef(d) if d.name == "infer" => Some(d.clone()),
+            .find_map(|s| match &s.kind {
+                StmtKind::FuncDef(d) if d.name == "infer" => Some(d.clone()),
                 _ => None,
             })
             .unwrap();
@@ -317,8 +318,7 @@ mod tests {
 
     #[test]
     fn scan_imports_in_lambdas() {
-        let prog =
-            crate::parse("g = fn (x) { import dep\nreturn x }").unwrap();
+        let prog = crate::parse("g = fn (x) { import dep\nreturn x }").unwrap();
         assert_eq!(scan_imports(&prog), vec!["dep".to_string()]);
     }
 

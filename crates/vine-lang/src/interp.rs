@@ -7,7 +7,7 @@
 //! build a fresh `Interp` per execution, paying context reconstruction
 //! every time.
 
-use crate::ast::{BinOp, Expr, FuncDef, Program, Stmt, Target, UnOp};
+use crate::ast::{BinOp, Expr, FuncDef, Program, Stmt, StmtKind, Target, UnOp};
 use crate::builtins;
 use crate::modules::ModuleRegistry;
 use crate::value::{Function, Value};
@@ -83,9 +83,7 @@ impl Interp {
         for stmt in prog {
             match self.exec_stmt(stmt, None)? {
                 Flow::Normal => {}
-                Flow::Return(_) => {
-                    return Err(VineError::Lang("return outside function".into()))
-                }
+                Flow::Return(_) => return Err(VineError::Lang("return outside function".into())),
                 Flow::Break | Flow::Continue => {
                     return Err(VineError::Lang("break/continue outside loop".into()))
                 }
@@ -98,7 +96,10 @@ impl Interp {
     pub fn eval_source(&mut self, src: &str) -> Result<Value> {
         let prog = crate::parse(src)?;
         match prog.as_slice() {
-            [Stmt::Expr(e)] => self.eval(e, None),
+            [Stmt {
+                kind: StmtKind::Expr(e),
+                ..
+            }] => self.eval(e, None),
             _ => Err(VineError::Lang(
                 "eval_source expects exactly one expression".into(),
             )),
@@ -139,7 +140,11 @@ impl Interp {
         if args.len() != f.def.params.len() {
             return Err(VineError::Lang(format!(
                 "function {} takes {} arguments, got {}",
-                if f.def.name.is_empty() { "<lambda>" } else { &f.def.name },
+                if f.def.name.is_empty() {
+                    "<lambda>"
+                } else {
+                    &f.def.name
+                },
                 f.def.params.len(),
                 args.len()
             )));
@@ -201,13 +206,13 @@ impl Interp {
 
     fn exec_stmt(&mut self, stmt: &Stmt, mut frame: Option<&mut Frame>) -> Result<Flow> {
         self.tick()?;
-        match stmt {
-            Stmt::Import(name) => {
+        match &stmt.kind {
+            StmtKind::Import(name) => {
                 let module = self.import_module(name)?;
                 self.assign_var(name.clone(), module, frame);
                 Ok(Flow::Normal)
             }
-            Stmt::FuncDef(def) => {
+            StmtKind::FuncDef(def) => {
                 let func = Value::Func(Rc::new(Function {
                     def: Rc::clone(def),
                     globals: Rc::clone(&self.globals),
@@ -215,7 +220,7 @@ impl Interp {
                 self.assign_var(def.name.clone(), func, frame);
                 Ok(Flow::Normal)
             }
-            Stmt::Global(names) => {
+            StmtKind::Global(names) => {
                 if let Some(fr) = frame.as_deref_mut() {
                     for n in names {
                         fr.global_decls.insert(n.clone());
@@ -224,7 +229,7 @@ impl Interp {
                 // at module level `global` is a no-op
                 Ok(Flow::Normal)
             }
-            Stmt::Assign(target, expr) => {
+            StmtKind::Assign(target, expr) => {
                 let value = self.eval(expr, frame.as_deref_mut())?;
                 match target {
                     Target::Var(name) => self.assign_var(name.clone(), value, frame),
@@ -236,7 +241,7 @@ impl Interp {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::If(arms, els) => {
+            StmtKind::If(arms, els) => {
                 for (cond, body) in arms {
                     if self.eval(cond, frame.as_deref_mut())?.truthy() {
                         return self.exec_block(body, frame);
@@ -247,7 +252,7 @@ impl Interp {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::While(cond, body) => {
+            StmtKind::While(cond, body) => {
                 while self.eval(cond, frame.as_deref_mut())?.truthy() {
                     self.tick()?;
                     match self.exec_block(body, frame.as_deref_mut())? {
@@ -258,7 +263,7 @@ impl Interp {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For(var, iter, body) => {
+            StmtKind::For(var, iter, body) => {
                 let items = self.iterable_items(iter, frame.as_deref_mut())?;
                 for item in items {
                     self.tick()?;
@@ -271,16 +276,16 @@ impl Interp {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Return(value) => {
+            StmtKind::Return(value) => {
                 let v = match value {
                     Some(e) => self.eval(e, frame)?,
                     None => Value::None,
                 };
                 Ok(Flow::Return(v))
             }
-            Stmt::Break => Ok(Flow::Break),
-            Stmt::Continue => Ok(Flow::Continue),
-            Stmt::Expr(e) => {
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Expr(e) => {
                 self.eval(e, frame)?;
                 Ok(Flow::Normal)
             }
@@ -389,14 +394,9 @@ impl Interp {
             Expr::Attr(obj, attr) => {
                 let obj = self.eval(obj, frame)?;
                 match obj {
-                    Value::Module(m) => m
-                        .members
-                        .borrow()
-                        .get(attr)
-                        .cloned()
-                        .ok_or_else(|| {
-                            VineError::Lang(format!("module {} has no member {attr}", m.name))
-                        }),
+                    Value::Module(m) => m.members.borrow().get(attr).cloned().ok_or_else(|| {
+                        VineError::Lang(format!("module {} has no member {attr}", m.name))
+                    }),
                     other => Err(VineError::Lang(format!(
                         "{} has no attributes",
                         other.type_name()
@@ -884,11 +884,13 @@ mod tests {
 
     #[test]
     fn bind_function_attaches_to_new_globals() {
-        let def = Rc::new(crate::ast::FuncDef {
-            name: "probe".into(),
-            params: vec![],
-            body: vec![Stmt::Return(Some(Expr::Var("state".into())))],
-        });
+        let def = Rc::new(crate::ast::FuncDef::new(
+            "probe",
+            vec![],
+            vec![Stmt::dummy(StmtKind::Return(Some(Expr::Var(
+                "state".into(),
+            ))))],
+        ));
         let mut interp = Interp::new();
         interp.set_global("state", Value::Int(7));
         interp.bind_function(def);

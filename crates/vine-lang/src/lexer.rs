@@ -1,12 +1,19 @@
 //! Tokenizer for vinescript.
 
+use crate::ast::Span;
 use vine_core::{Result, VineError};
 
-/// A lexical token with its source line (for error messages).
+/// A lexical token with its source position (for error messages and
+/// diagnostic spans).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Token {
     pub kind: Tok,
+    /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column within the line.
+    pub col: u32,
+    /// Byte range of the token text in the source.
+    pub span: Span,
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -48,20 +55,20 @@ pub enum Tok {
     Dot,
     Semi,
     // operators
-    Assign,   // =
-    Plus,     // +
-    Minus,    // -
-    Star,     // *
-    Slash,    // /
-    Percent,  // %
-    Eq,       // ==
-    Ne,       // !=
-    Lt,       // <
-    Le,       // <=
-    Gt,       // >
-    Ge,       // >=
-    PlusEq,   // +=
-    MinusEq,  // -=
+    Assign,  // =
+    Plus,    // +
+    Minus,   // -
+    Star,    // *
+    Slash,   // /
+    Percent, // %
+    Eq,      // ==
+    Ne,      // !=
+    Lt,      // <
+    Le,      // <=
+    Gt,      // >
+    Ge,      // >=
+    PlusEq,  // +=
+    MinusEq, // -=
     Eof,
 }
 
@@ -90,8 +97,8 @@ fn keyword(word: &str) -> Option<Tok> {
     })
 }
 
-fn err(line: u32, msg: impl std::fmt::Display) -> VineError {
-    VineError::Lang(format!("line {line}: {msg}"))
+fn err(line: u32, col: u32, msg: impl std::fmt::Display) -> VineError {
+    VineError::Lang(format!("line {line}, column {col}: {msg}"))
 }
 
 /// Tokenize `src`. Comments run from `#` to end of line.
@@ -100,19 +107,33 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
     let mut out = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
-
-    macro_rules! push {
-        ($kind:expr) => {
-            out.push(Token { kind: $kind, line })
-        };
-    }
+    // byte offset where the current line starts; columns derive from it
+    let mut line_start = 0usize;
 
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let start = i;
+        let tok_line = line;
+        let tok_col = (i - line_start) as u32 + 1;
+
+        // every arm advances `i` past the token, then `push!` records the
+        // consumed byte range [start, i)
+        macro_rules! push {
+            ($kind:expr) => {
+                out.push(Token {
+                    kind: $kind,
+                    line: tok_line,
+                    col: tok_col,
+                    span: Span::new(start, i),
+                })
+            };
+        }
+
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '#' => {
@@ -121,118 +142,117 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                push!(Tok::LParen);
                 i += 1;
+                push!(Tok::LParen);
             }
             ')' => {
-                push!(Tok::RParen);
                 i += 1;
+                push!(Tok::RParen);
             }
             '{' => {
-                push!(Tok::LBrace);
                 i += 1;
+                push!(Tok::LBrace);
             }
             '}' => {
-                push!(Tok::RBrace);
                 i += 1;
+                push!(Tok::RBrace);
             }
             '[' => {
-                push!(Tok::LBracket);
                 i += 1;
+                push!(Tok::LBracket);
             }
             ']' => {
-                push!(Tok::RBracket);
                 i += 1;
+                push!(Tok::RBracket);
             }
             ',' => {
-                push!(Tok::Comma);
                 i += 1;
+                push!(Tok::Comma);
             }
             ':' => {
-                push!(Tok::Colon);
                 i += 1;
+                push!(Tok::Colon);
             }
             '.' => {
-                push!(Tok::Dot);
                 i += 1;
+                push!(Tok::Dot);
             }
             ';' => {
-                push!(Tok::Semi);
                 i += 1;
+                push!(Tok::Semi);
             }
             '+' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push!(Tok::PlusEq);
                     i += 2;
+                    push!(Tok::PlusEq);
                 } else {
-                    push!(Tok::Plus);
                     i += 1;
+                    push!(Tok::Plus);
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push!(Tok::MinusEq);
                     i += 2;
+                    push!(Tok::MinusEq);
                 } else {
-                    push!(Tok::Minus);
                     i += 1;
+                    push!(Tok::Minus);
                 }
             }
             '*' => {
-                push!(Tok::Star);
                 i += 1;
+                push!(Tok::Star);
             }
             '/' => {
-                push!(Tok::Slash);
                 i += 1;
+                push!(Tok::Slash);
             }
             '%' => {
-                push!(Tok::Percent);
                 i += 1;
+                push!(Tok::Percent);
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push!(Tok::Eq);
                     i += 2;
+                    push!(Tok::Eq);
                 } else {
-                    push!(Tok::Assign);
                     i += 1;
+                    push!(Tok::Assign);
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push!(Tok::Ne);
                     i += 2;
+                    push!(Tok::Ne);
                 } else {
-                    return Err(err(line, "unexpected '!'"));
+                    return Err(err(tok_line, tok_col, "unexpected '!'"));
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push!(Tok::Le);
                     i += 2;
+                    push!(Tok::Le);
                 } else {
-                    push!(Tok::Lt);
                     i += 1;
+                    push!(Tok::Lt);
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push!(Tok::Ge);
                     i += 2;
+                    push!(Tok::Ge);
                 } else {
-                    push!(Tok::Gt);
                     i += 1;
+                    push!(Tok::Gt);
                 }
             }
             '"' | '\'' => {
                 let quote = c;
-                let start_line = line;
                 i += 1;
                 let mut s = String::new();
                 loop {
                     if i >= bytes.len() {
-                        return Err(err(start_line, "unterminated string"));
+                        return Err(err(tok_line, tok_col, "unterminated string"));
                     }
                     let ch = bytes[i] as char;
                     if ch == quote {
@@ -240,13 +260,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         break;
                     }
                     if ch == '\n' {
-                        return Err(err(start_line, "unterminated string"));
+                        return Err(err(tok_line, tok_col, "unterminated string"));
                     }
                     if ch == '\\' {
                         i += 1;
                         let esc = *bytes
                             .get(i)
-                            .ok_or_else(|| err(start_line, "unterminated escape"))?
+                            .ok_or_else(|| err(tok_line, tok_col, "unterminated escape"))?
                             as char;
                         s.push(match esc {
                             'n' => '\n',
@@ -256,7 +276,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                             '\'' => '\'',
                             '"' => '"',
                             '0' => '\0',
-                            other => return Err(err(line, format!("bad escape '\\{other}'"))),
+                            other => {
+                                let esc_col = (i - 1 - line_start) as u32 + 1;
+                                return Err(err(line, esc_col, format!("bad escape '\\{other}'")));
+                            }
                         });
                         i += 1;
                     } else {
@@ -267,7 +290,6 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 push!(Tok::Str(s));
             }
             '0'..='9' => {
-                let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
@@ -298,17 +320,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 if is_float {
                     let v: f64 = text
                         .parse()
-                        .map_err(|_| err(line, format!("bad float literal {text}")))?;
+                        .map_err(|_| err(tok_line, tok_col, format!("bad float literal {text}")))?;
                     push!(Tok::Float(v));
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| err(line, format!("integer literal out of range: {text}")))?;
+                    let v: i64 = text.parse().map_err(|_| {
+                        err(
+                            tok_line,
+                            tok_col,
+                            format!("integer literal out of range: {text}"),
+                        )
+                    })?;
                     push!(Tok::Int(v));
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
                 while i < bytes.len()
                     && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
                 {
@@ -320,12 +345,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     Option::None => push!(Tok::Ident(word.to_string())),
                 }
             }
-            other => return Err(err(line, format!("unexpected character '{other}'"))),
+            other => {
+                return Err(err(
+                    tok_line,
+                    tok_col,
+                    format!("unexpected character '{other}'"),
+                ))
+            }
         }
     }
     out.push(Token {
         kind: Tok::Eof,
         line,
+        col: (i - line_start) as u32 + 1,
+        span: Span::new(i, i),
     });
     Ok(out)
 }
@@ -387,8 +420,29 @@ mod tests {
     fn lex_comments_and_lines() {
         let toks = lex("x = 1 # comment\ny = 2").unwrap();
         assert_eq!(toks[0].line, 1);
-        let y = toks.iter().find(|t| t.kind == Tok::Ident("y".into())).unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.kind == Tok::Ident("y".into()))
+            .unwrap();
         assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn lex_columns_and_spans() {
+        let src = "x = 1\n  yy = 22";
+        let toks = lex(src).unwrap();
+        let x = &toks[0];
+        assert_eq!((x.line, x.col), (1, 1));
+        assert_eq!(x.span.slice(src), "x");
+        let yy = toks
+            .iter()
+            .find(|t| t.kind == Tok::Ident("yy".into()))
+            .unwrap();
+        assert_eq!((yy.line, yy.col), (2, 3));
+        assert_eq!(yy.span.slice(src), "yy");
+        let n22 = toks.iter().find(|t| t.kind == Tok::Int(22)).unwrap();
+        assert_eq!((n22.line, n22.col), (2, 8));
+        assert_eq!(n22.span.slice(src), "22");
     }
 
     #[test]
@@ -434,6 +488,14 @@ mod tests {
     fn lex_bad_char_errors() {
         assert!(lex("a @ b").is_err());
         assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn lex_errors_carry_line_and_column() {
+        let e = lex("x = 1\n  y = @").unwrap_err().to_string();
+        assert!(e.contains("line 2, column 7"), "got: {e}");
+        let e = lex("s = 'abc").unwrap_err().to_string();
+        assert!(e.contains("line 1, column 5"), "got: {e}");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod parser;
 pub mod pickle;
 pub mod value;
 
-pub use ast::{BinOp, Expr, FuncDef, Program, Stmt, UnOp};
+pub use ast::{BinOp, Expr, FuncDef, Program, Span, Stmt, StmtKind, Target, UnOp};
 pub use interp::Interp;
 pub use modules::ModuleRegistry;
 pub use value::Value;

@@ -51,7 +51,10 @@ impl ModuleRegistry {
     }
 
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.native.keys().chain(self.source.keys()).map(|s| s.as_str())
+        self.native
+            .keys()
+            .chain(self.source.keys())
+            .map(|s| s.as_str())
     }
 
     /// Source text of a source module, if registered that way (used by the

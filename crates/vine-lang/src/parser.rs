@@ -1,6 +1,6 @@
 //! Recursive-descent parser for vinescript.
 
-use crate::ast::{BinOp, Expr, FuncDef, Program, Stmt, Target, UnOp};
+use crate::ast::{BinOp, Expr, FuncDef, Program, Span, Stmt, StmtKind, Target, UnOp};
 use crate::lexer::{Tok, Token};
 use std::rc::Rc;
 use vine_core::{Result, VineError};
@@ -10,8 +10,8 @@ struct Parser<'a> {
     pos: usize,
 }
 
-fn perr(line: u32, msg: impl std::fmt::Display) -> VineError {
-    VineError::Lang(format!("parse error at line {line}: {msg}"))
+fn perr(line: u32, col: u32, msg: impl std::fmt::Display) -> VineError {
+    VineError::Lang(format!("parse error at line {line}, column {col}: {msg}"))
 }
 
 impl<'a> Parser<'a> {
@@ -21,6 +21,24 @@ impl<'a> Parser<'a> {
 
     fn line(&self) -> u32 {
         self.toks[self.pos].line
+    }
+
+    fn col(&self) -> u32 {
+        self.toks[self.pos].col
+    }
+
+    /// Byte offset where the current token starts.
+    fn start(&self) -> u32 {
+        self.toks[self.pos].span.start
+    }
+
+    /// Byte offset just past the most recently consumed token.
+    fn prev_end(&self) -> u32 {
+        if self.pos == 0 {
+            0
+        } else {
+            self.toks[self.pos - 1].span.end
+        }
     }
 
     fn advance(&mut self) -> Tok {
@@ -38,6 +56,7 @@ impl<'a> Parser<'a> {
         } else {
             Err(perr(
                 self.line(),
+                self.col(),
                 format!("expected {:?}, found {:?}", want, self.peek()),
             ))
         }
@@ -49,7 +68,11 @@ impl<'a> Parser<'a> {
                 self.advance();
                 Ok(name)
             }
-            other => Err(perr(self.line(), format!("expected identifier, found {other:?}"))),
+            other => Err(perr(
+                self.line(),
+                self.col(),
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -60,7 +83,11 @@ impl<'a> Parser<'a> {
         let mut stmts = Vec::new();
         while self.peek() != &Tok::RBrace {
             if self.peek() == &Tok::Eof {
-                return Err(perr(self.line(), "unexpected end of input in block"));
+                return Err(perr(
+                    self.line(),
+                    self.col(),
+                    "unexpected end of input in block",
+                ));
             }
             stmts.push(self.statement()?);
         }
@@ -74,18 +101,29 @@ impl<'a> Parser<'a> {
             self.advance();
         }
         let line = self.line();
-        let stmt = match self.peek().clone() {
+        let col = self.col();
+        let start = self.start();
+        let kind = match self.peek().clone() {
             Tok::Import => {
                 self.advance();
                 let name = self.eat_ident()?;
-                Stmt::Import(name)
+                StmtKind::Import(name)
             }
             Tok::Def => {
                 self.advance();
                 let name = self.eat_ident()?;
                 let params = self.param_list()?;
                 let body = self.block()?;
-                Stmt::FuncDef(Rc::new(FuncDef { name, params, body }))
+                let span = Span {
+                    start,
+                    end: self.prev_end(),
+                };
+                StmtKind::FuncDef(Rc::new(FuncDef {
+                    name,
+                    params,
+                    body,
+                    span,
+                }))
             }
             Tok::Global => {
                 self.advance();
@@ -94,7 +132,7 @@ impl<'a> Parser<'a> {
                     self.advance();
                     names.push(self.eat_ident()?);
                 }
-                Stmt::Global(names)
+                StmtKind::Global(names)
             }
             Tok::Return => {
                 self.advance();
@@ -107,15 +145,15 @@ impl<'a> Parser<'a> {
                 } else {
                     Some(self.expr()?)
                 };
-                Stmt::Return(value)
+                StmtKind::Return(value)
             }
             Tok::Break => {
                 self.advance();
-                Stmt::Break
+                StmtKind::Break
             }
             Tok::Continue => {
                 self.advance();
-                Stmt::Continue
+                StmtKind::Continue
             }
             Tok::If => {
                 self.advance();
@@ -140,13 +178,13 @@ impl<'a> Parser<'a> {
                         _ => break,
                     }
                 }
-                Stmt::If(arms, els)
+                StmtKind::If(arms, els)
             }
             Tok::While => {
                 self.advance();
                 let cond = self.expr()?;
                 let body = self.block()?;
-                Stmt::While(cond, body)
+                StmtKind::While(cond, body)
             }
             Tok::For => {
                 self.advance();
@@ -154,7 +192,7 @@ impl<'a> Parser<'a> {
                 self.eat(&Tok::In)?;
                 let iter = self.expr()?;
                 let body = self.block()?;
-                Stmt::For(var, iter, body)
+                StmtKind::For(var, iter, body)
             }
             _ => {
                 // expression, assignment, or augmented assignment
@@ -163,7 +201,7 @@ impl<'a> Parser<'a> {
                     Tok::Assign => {
                         self.advance();
                         let rhs = self.expr()?;
-                        Stmt::Assign(Self::to_target(e, line)?, rhs)
+                        StmtKind::Assign(Self::to_target(e, line, col)?, rhs)
                     }
                     Tok::PlusEq | Tok::MinusEq => {
                         let op = if self.peek() == &Tok::PlusEq {
@@ -173,24 +211,35 @@ impl<'a> Parser<'a> {
                         };
                         self.advance();
                         let rhs = self.expr()?;
-                        let target = Self::to_target(e.clone(), line)?;
-                        Stmt::Assign(target, Expr::Binary(op, Box::new(e), Box::new(rhs)))
+                        let target = Self::to_target(e.clone(), line, col)?;
+                        StmtKind::Assign(target, Expr::Binary(op, Box::new(e), Box::new(rhs)))
                     }
-                    _ => Stmt::Expr(e),
+                    _ => StmtKind::Expr(e),
                 }
             }
         };
+        let stmt = Stmt::new(
+            kind,
+            Span {
+                start,
+                end: self.prev_end(),
+            },
+        );
         while self.peek() == &Tok::Semi {
             self.advance();
         }
         Ok(stmt)
     }
 
-    fn to_target(e: Expr, line: u32) -> Result<Target> {
+    fn to_target(e: Expr, line: u32, col: u32) -> Result<Target> {
         match e {
             Expr::Var(name) => Ok(Target::Var(name)),
             Expr::Index(obj, idx) => Ok(Target::Index(*obj, *idx)),
-            other => Err(perr(line, format!("invalid assignment target: {other:?}"))),
+            other => Err(perr(
+                line,
+                col,
+                format!("invalid assignment target: {other:?}"),
+            )),
         }
     }
 
@@ -335,6 +384,8 @@ impl<'a> Parser<'a> {
 
     fn primary(&mut self) -> Result<Expr> {
         let line = self.line();
+        let col = self.col();
+        let start = self.start();
         let e = match self.advance() {
             Tok::Int(v) => Expr::Int(v),
             Tok::Float(v) => Expr::Float(v),
@@ -387,13 +438,18 @@ impl<'a> Parser<'a> {
             Tok::Fn => {
                 let params = self.param_list()?;
                 let body = self.block()?;
+                let span = Span {
+                    start,
+                    end: self.prev_end(),
+                };
                 Expr::Lambda(Rc::new(FuncDef {
                     name: String::new(),
                     params,
                     body,
+                    span,
                 }))
             }
-            other => return Err(perr(line, format!("unexpected token {other:?}"))),
+            other => return Err(perr(line, col, format!("unexpected token {other:?}"))),
         };
         Ok(e)
     }
@@ -422,8 +478,8 @@ mod tests {
     fn parse_function_def() {
         let prog = parse("def add(a, b) { return a + b }");
         assert_eq!(prog.len(), 1);
-        match &prog[0] {
-            Stmt::FuncDef(f) => {
+        match &prog[0].kind {
+            StmtKind::FuncDef(f) => {
                 assert_eq!(f.name, "add");
                 assert_eq!(f.params, vec!["a", "b"]);
                 assert_eq!(f.body.len(), 1);
@@ -436,8 +492,8 @@ mod tests {
     fn parse_precedence() {
         // 1 + 2 * 3 parses as 1 + (2 * 3)
         let prog = parse("x = 1 + 2 * 3");
-        match &prog[0] {
-            Stmt::Assign(Target::Var(x), Expr::Binary(BinOp::Add, lhs, rhs)) => {
+        match &prog[0].kind {
+            StmtKind::Assign(Target::Var(x), Expr::Binary(BinOp::Add, lhs, rhs)) => {
                 assert_eq!(x, "x");
                 assert_eq!(**lhs, Expr::Int(1));
                 assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
@@ -450,8 +506,8 @@ mod tests {
     fn parse_logical_precedence() {
         // a or b and not c == (a or (b and (not c)))
         let prog = parse("x = a or b and not c");
-        match &prog[0] {
-            Stmt::Assign(_, Expr::Binary(BinOp::Or, _, rhs)) => {
+        match &prog[0].kind {
+            StmtKind::Assign(_, Expr::Binary(BinOp::Or, _, rhs)) => {
                 assert!(matches!(**rhs, Expr::Binary(BinOp::And, _, _)));
             }
             other => panic!("unexpected {other:?}"),
@@ -461,8 +517,8 @@ mod tests {
     #[test]
     fn parse_if_elif_else() {
         let prog = parse("if a { x = 1 } elif b { x = 2 } else { x = 3 }");
-        match &prog[0] {
-            Stmt::If(arms, els) => {
+        match &prog[0].kind {
+            StmtKind::If(arms, els) => {
                 assert_eq!(arms.len(), 2);
                 assert!(els.is_some());
             }
@@ -473,15 +529,15 @@ mod tests {
     #[test]
     fn parse_for_and_while() {
         let prog = parse("for i in range(10) { s += i }\nwhile s > 0 { s -= 1 }");
-        assert!(matches!(prog[0], Stmt::For(_, _, _)));
-        assert!(matches!(prog[1], Stmt::While(_, _)));
+        assert!(matches!(prog[0].kind, StmtKind::For(_, _, _)));
+        assert!(matches!(prog[1].kind, StmtKind::While(_, _)));
     }
 
     #[test]
     fn parse_augmented_assign_desugars() {
         let prog = parse("x += 2");
-        match &prog[0] {
-            Stmt::Assign(Target::Var(x), Expr::Binary(BinOp::Add, _, _)) => assert_eq!(x, "x"),
+        match &prog[0].kind {
+            StmtKind::Assign(Target::Var(x), Expr::Binary(BinOp::Add, _, _)) => assert_eq!(x, "x"),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -489,14 +545,17 @@ mod tests {
     #[test]
     fn parse_index_assignment() {
         let prog = parse("xs[0] = 5");
-        assert!(matches!(&prog[0], Stmt::Assign(Target::Index(_, _), _)));
+        assert!(matches!(
+            &prog[0].kind,
+            StmtKind::Assign(Target::Index(_, _), _)
+        ));
     }
 
     #[test]
     fn parse_attr_call_chain() {
         let prog = parse("y = nn.infer(model, img)[0]");
-        match &prog[0] {
-            Stmt::Assign(_, Expr::Index(call, _)) => {
+        match &prog[0].kind {
+            StmtKind::Assign(_, Expr::Index(call, _)) => {
                 assert!(matches!(**call, Expr::Call(_, _)));
             }
             other => panic!("unexpected {other:?}"),
@@ -506,8 +565,8 @@ mod tests {
     #[test]
     fn parse_lambda() {
         let prog = parse("f = fn (x) { return x * 2 }");
-        match &prog[0] {
-            Stmt::Assign(_, Expr::Lambda(f)) => {
+        match &prog[0].kind {
+            StmtKind::Assign(_, Expr::Lambda(f)) => {
                 assert!(f.is_lambda());
                 assert_eq!(f.params, vec!["x"]);
             }
@@ -518,8 +577,8 @@ mod tests {
     #[test]
     fn parse_dict_and_list_literals() {
         let prog = parse(r#"d = {"a": 1, "b": [1, 2, 3,],}"#);
-        match &prog[0] {
-            Stmt::Assign(_, Expr::Dict(pairs)) => {
+        match &prog[0].kind {
+            StmtKind::Assign(_, Expr::Dict(pairs)) => {
                 assert_eq!(pairs.len(), 2);
                 assert!(matches!(pairs[1].1, Expr::List(ref xs) if xs.len() == 3));
             }
@@ -530,9 +589,12 @@ mod tests {
     #[test]
     fn parse_global_decl() {
         let prog = parse("def setup() { global model, cache\n model = 1 }");
-        match &prog[0] {
-            Stmt::FuncDef(f) => {
-                assert_eq!(f.body[0], Stmt::Global(vec!["model".into(), "cache".into()]));
+        match &prog[0].kind {
+            StmtKind::FuncDef(f) => {
+                assert_eq!(
+                    f.body[0].kind,
+                    StmtKind::Global(vec!["model".into(), "cache".into()])
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -541,15 +603,22 @@ mod tests {
     #[test]
     fn parse_return_without_value() {
         let prog = parse("def f() { return }");
-        match &prog[0] {
-            Stmt::FuncDef(f) => assert_eq!(f.body[0], Stmt::Return(None)),
+        match &prog[0].kind {
+            StmtKind::FuncDef(f) => assert_eq!(f.body[0].kind, StmtKind::Return(None)),
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
     fn parse_errors() {
-        let bad = ["def f( {", "x = ", "if { }", "1 = 2", "def f() { return x", "fn x"];
+        let bad = [
+            "def f( {",
+            "x = ",
+            "if { }",
+            "1 = 2",
+            "def f() { return x",
+            "fn x",
+        ];
         for src in bad {
             let toks = lex(src);
             if let Ok(toks) = toks {
@@ -559,11 +628,35 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_carry_line_and_column() {
+        let toks = lex("x = 1\ny = )").unwrap();
+        let e = parse_program(&toks).unwrap_err().to_string();
+        assert!(e.contains("line 2, column 5"), "got: {e}");
+    }
+
+    #[test]
+    fn statements_carry_source_spans() {
+        let src = "x = 1\ndef f(a) {\n  return a\n}\ny = f(x)";
+        let prog = parse(src);
+        assert_eq!(prog[0].span.slice(src), "x = 1");
+        assert_eq!(prog[1].span.slice(src), "def f(a) {\n  return a\n}");
+        assert_eq!(prog[2].span.slice(src), "y = f(x)");
+        match &prog[1].kind {
+            StmtKind::FuncDef(f) => {
+                assert_eq!(f.span.slice(src), "def f(a) {\n  return a\n}");
+                assert_eq!(f.body[0].span.slice(src), "return a");
+                assert_eq!(f.body[0].span.line_col(src), (3, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn parse_unary_minus_binds_tighter_than_mul() {
         // -x * y == (-x) * y
         let prog = parse("z = -x * y");
-        match &prog[0] {
-            Stmt::Assign(_, Expr::Binary(BinOp::Mul, lhs, _)) => {
+        match &prog[0].kind {
+            StmtKind::Assign(_, Expr::Binary(BinOp::Mul, lhs, _)) => {
                 assert!(matches!(**lhs, Expr::Unary(UnOp::Neg, _)));
             }
             other => panic!("unexpected {other:?}"),
@@ -573,7 +666,7 @@ mod tests {
     #[test]
     fn parse_import() {
         let prog = parse("import nn\nimport mathx");
-        assert_eq!(prog[0], Stmt::Import("nn".into()));
-        assert_eq!(prog[1], Stmt::Import("mathx".into()));
+        assert_eq!(prog[0].kind, StmtKind::Import("nn".into()));
+        assert_eq!(prog[1].kind, StmtKind::Import("mathx".into()));
     }
 }

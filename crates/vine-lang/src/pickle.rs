@@ -11,7 +11,7 @@
 //! The format is a tagged byte stream with a 4-byte magic header `VPK1`.
 //! All integers are little-endian.
 
-use crate::ast::{BinOp, Expr, FuncDef, Stmt, Target, UnOp};
+use crate::ast::{BinOp, Expr, FuncDef, Stmt, StmtKind, Target, UnOp};
 use crate::value::{Function, Tensor, Value};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -250,7 +250,10 @@ fn read_value(r: &mut Reader, globals: &Rc<RefCell<BTreeMap<String, Value>>>) ->
             for _ in 0..n {
                 data.push(r.f64()?);
             }
-            Value::Tensor(Rc::new(Tensor { shape, data: Rc::new(data) }))
+            Value::Tensor(Rc::new(Tensor {
+                shape,
+                data: Rc::new(data),
+            }))
         }
         tag::FUNC => {
             let def = read_funcdef(r)?;
@@ -486,35 +489,38 @@ fn read_stmts(r: &mut Reader) -> Result<Vec<Stmt>> {
     Ok(out)
 }
 
+// NOTE: spans are deliberately NOT serialized. The wire format (and thus
+// content digests of serialized code objects) is identical to the
+// pre-span encoding; deserialized statements come back with Span::DUMMY.
 fn write_stmt(w: &mut Writer, s: &Stmt) {
-    match s {
-        Stmt::Import(name) => {
+    match &s.kind {
+        StmtKind::Import(name) => {
             w.u8(stag::IMPORT);
             w.str(name);
         }
-        Stmt::FuncDef(def) => {
+        StmtKind::FuncDef(def) => {
             w.u8(stag::FUNCDEF);
             write_funcdef(w, def);
         }
-        Stmt::Assign(Target::Var(name), e) => {
+        StmtKind::Assign(Target::Var(name), e) => {
             w.u8(stag::ASSIGN_VAR);
             w.str(name);
             write_expr(w, e);
         }
-        Stmt::Assign(Target::Index(obj, idx), e) => {
+        StmtKind::Assign(Target::Index(obj, idx), e) => {
             w.u8(stag::ASSIGN_INDEX);
             write_expr(w, obj);
             write_expr(w, idx);
             write_expr(w, e);
         }
-        Stmt::Global(names) => {
+        StmtKind::Global(names) => {
             w.u8(stag::GLOBAL);
             w.u32(names.len() as u32);
             for n in names {
                 w.str(n);
             }
         }
-        Stmt::If(arms, els) => {
+        StmtKind::If(arms, els) => {
             w.u8(stag::IF);
             w.u32(arms.len() as u32);
             for (cond, body) in arms {
@@ -529,25 +535,25 @@ fn write_stmt(w: &mut Writer, s: &Stmt) {
                 None => w.u8(0),
             }
         }
-        Stmt::While(cond, body) => {
+        StmtKind::While(cond, body) => {
             w.u8(stag::WHILE);
             write_expr(w, cond);
             write_stmts(w, body);
         }
-        Stmt::For(var, iter, body) => {
+        StmtKind::For(var, iter, body) => {
             w.u8(stag::FOR);
             w.str(var);
             write_expr(w, iter);
             write_stmts(w, body);
         }
-        Stmt::Return(Some(e)) => {
+        StmtKind::Return(Some(e)) => {
             w.u8(stag::RETURN);
             write_expr(w, e);
         }
-        Stmt::Return(None) => w.u8(stag::RETURN_NONE),
-        Stmt::Break => w.u8(stag::BREAK),
-        Stmt::Continue => w.u8(stag::CONTINUE),
-        Stmt::Expr(e) => {
+        StmtKind::Return(None) => w.u8(stag::RETURN_NONE),
+        StmtKind::Break => w.u8(stag::BREAK),
+        StmtKind::Continue => w.u8(stag::CONTINUE),
+        StmtKind::Expr(e) => {
             w.u8(stag::EXPR);
             write_expr(w, e);
         }
@@ -556,19 +562,19 @@ fn write_stmt(w: &mut Writer, s: &Stmt) {
 
 fn read_stmt(r: &mut Reader) -> Result<Stmt> {
     let t = r.u8()?;
-    Ok(match t {
-        stag::IMPORT => Stmt::Import(r.str()?),
-        stag::FUNCDEF => Stmt::FuncDef(Rc::new(read_funcdef(r)?)),
+    let kind = match t {
+        stag::IMPORT => StmtKind::Import(r.str()?),
+        stag::FUNCDEF => StmtKind::FuncDef(Rc::new(read_funcdef(r)?)),
         stag::ASSIGN_VAR => {
             let name = r.str()?;
             let e = read_expr(r)?;
-            Stmt::Assign(Target::Var(name), e)
+            StmtKind::Assign(Target::Var(name), e)
         }
         stag::ASSIGN_INDEX => {
             let obj = read_expr(r)?;
             let idx = read_expr(r)?;
             let e = read_expr(r)?;
-            Stmt::Assign(Target::Index(obj, idx), e)
+            StmtKind::Assign(Target::Index(obj, idx), e)
         }
         stag::GLOBAL => {
             let n = r.u32()? as usize;
@@ -576,7 +582,7 @@ fn read_stmt(r: &mut Reader) -> Result<Stmt> {
             for _ in 0..n {
                 names.push(r.str()?);
             }
-            Stmt::Global(names)
+            StmtKind::Global(names)
         }
         stag::IF => {
             let n = r.u32()? as usize;
@@ -591,26 +597,27 @@ fn read_stmt(r: &mut Reader) -> Result<Stmt> {
             } else {
                 None
             };
-            Stmt::If(arms, els)
+            StmtKind::If(arms, els)
         }
         stag::WHILE => {
             let cond = read_expr(r)?;
             let body = read_stmts(r)?;
-            Stmt::While(cond, body)
+            StmtKind::While(cond, body)
         }
         stag::FOR => {
             let var = r.str()?;
             let iter = read_expr(r)?;
             let body = read_stmts(r)?;
-            Stmt::For(var, iter, body)
+            StmtKind::For(var, iter, body)
         }
-        stag::RETURN => Stmt::Return(Some(read_expr(r)?)),
-        stag::RETURN_NONE => Stmt::Return(None),
-        stag::BREAK => Stmt::Break,
-        stag::CONTINUE => Stmt::Continue,
-        stag::EXPR => Stmt::Expr(read_expr(r)?),
+        stag::RETURN => StmtKind::Return(Some(read_expr(r)?)),
+        stag::RETURN_NONE => StmtKind::Return(None),
+        stag::BREAK => StmtKind::Break,
+        stag::CONTINUE => StmtKind::Continue,
+        stag::EXPR => StmtKind::Expr(read_expr(r)?),
         other => return Err(derr(format!("unknown stmt tag {other}"))),
-    })
+    };
+    Ok(Stmt::dummy(kind))
 }
 
 fn write_funcdef(w: &mut Writer, def: &FuncDef) {
@@ -630,7 +637,7 @@ fn read_funcdef(r: &mut Reader) -> Result<FuncDef> {
         params.push(r.str()?);
     }
     let body = read_stmts(r)?;
-    Ok(FuncDef { name, params, body })
+    Ok(FuncDef::new(name, params, body))
 }
 
 // ---------- public API ----------
@@ -808,8 +815,8 @@ mod tests {
             }
         "#;
         let prog = crate::parse(src).unwrap();
-        let def = match &prog[0] {
-            Stmt::FuncDef(d) => Rc::clone(d),
+        let def = match &prog[0].kind {
+            StmtKind::FuncDef(d) => Rc::clone(d),
             other => panic!("unexpected {other:?}"),
         };
         let blob = serialize_funcdef(&def);

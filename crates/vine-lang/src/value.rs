@@ -217,9 +217,7 @@ impl Value {
     /// leak back into the shared context (§2.1.4).
     pub fn deep_clone(&self) -> Value {
         match self {
-            Value::List(l) => {
-                Value::list(l.borrow().iter().map(Value::deep_clone).collect())
-            }
+            Value::List(l) => Value::list(l.borrow().iter().map(Value::deep_clone).collect()),
             Value::Dict(d) => Value::Dict(Rc::new(RefCell::new(
                 d.borrow()
                     .iter()

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
-use vine_lang::ast::{BinOp, Expr, FuncDef, Stmt, Target, UnOp};
+use vine_lang::ast::{walk_stmts, BinOp, Expr, FuncDef, Stmt, StmtKind, Target, UnOp};
 use vine_lang::inspect::{format_funcdef, format_program};
 use vine_lang::pickle;
 use vine_lang::value::{Tensor, Value};
@@ -31,11 +31,10 @@ fn arb_value() -> impl Strategy<Value = Value> {
         prop::num::f64::NORMAL.prop_map(Value::Float),
         "[a-zA-Z0-9 _\\-\\.\u{e9}\u{4e16}]{0,24}".prop_map(Value::str),
         prop::collection::vec(any::<u8>(), 0..64).prop_map(|b| Value::Bytes(Rc::new(b))),
-        prop::collection::vec(prop::num::f64::NORMAL, 0..16)
-            .prop_map(|d| {
-                let n = d.len();
-                Value::tensor(Tensor::new(vec![n], d).unwrap())
-            }),
+        prop::collection::vec(prop::num::f64::NORMAL, 0..16).prop_map(|d| {
+            let n = d.len();
+            Value::tensor(Tensor::new(vec![n], d).unwrap())
+        }),
     ];
     leaf.prop_recursive(3, 48, 6, |inner| {
         prop_oneof![
@@ -50,8 +49,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
 
 fn arb_name() -> impl Strategy<Value = String> {
     const KEYWORDS: &[&str] = &[
-        "def", "fn", "return", "if", "elif", "else", "while", "for", "in", "break",
-        "continue", "global", "import", "and", "or", "not", "true", "false", "none",
+        "def", "fn", "return", "if", "elif", "else", "while", "for", "in", "break", "continue",
+        "global", "import", "and", "or", "not", "true", "false", "none",
     ];
     "[a-z_][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
 }
@@ -88,44 +87,51 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         ];
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::List),
-            (inner.clone(), arb_name())
-                .prop_map(|(o, a)| Expr::Attr(Box::new(o), a)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(o, i)| Expr::Index(Box::new(o), Box::new(i))),
+            (inner.clone(), arb_name()).prop_map(|(o, a)| Expr::Attr(Box::new(o), a)),
+            (inner.clone(), inner.clone()).prop_map(|(o, i)| Expr::Index(Box::new(o), Box::new(i))),
             (inner.clone(), prop::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(f, args)| Expr::Call(Box::new(f), args)),
             (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone())
                 .prop_map(|(op, x)| Expr::Unary(op, Box::new(x))),
-            (op, inner.clone(), inner)
-                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (op, inner.clone(), inner).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
 
 fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    // synthesized statements carry dummy spans; Stmt equality ignores spans,
+    // so round-trip properties compare structure only
     let leaf = prop_oneof![
-        arb_name().prop_map(Stmt::Import),
-        (arb_name(), arb_expr()).prop_map(|(n, e)| Stmt::Assign(Target::Var(n), e)),
+        arb_name().prop_map(|n| Stmt::dummy(StmtKind::Import(n))),
+        (arb_name(), arb_expr())
+            .prop_map(|(n, e)| Stmt::dummy(StmtKind::Assign(Target::Var(n), e))),
         (arb_expr(), arb_expr(), arb_expr())
-            .prop_map(|(o, i, e)| Stmt::Assign(Target::Index(o, i), e)),
-        prop::collection::vec(arb_name(), 1..3).prop_map(Stmt::Global),
-        arb_expr().prop_map(|e| Stmt::Return(Some(e))),
-        Just(Stmt::Return(None)),
-        Just(Stmt::Break),
-        Just(Stmt::Continue),
-        arb_expr().prop_map(Stmt::Expr),
+            .prop_map(|(o, i, e)| Stmt::dummy(StmtKind::Assign(Target::Index(o, i), e))),
+        prop::collection::vec(arb_name(), 1..3).prop_map(|ns| Stmt::dummy(StmtKind::Global(ns))),
+        arb_expr().prop_map(|e| Stmt::dummy(StmtKind::Return(Some(e)))),
+        Just(Stmt::dummy(StmtKind::Return(None))),
+        Just(Stmt::dummy(StmtKind::Break)),
+        Just(Stmt::dummy(StmtKind::Continue)),
+        arb_expr().prop_map(|e| Stmt::dummy(StmtKind::Expr(e))),
     ];
     leaf.prop_recursive(2, 16, 3, |inner| {
         prop_oneof![
             (
-                prop::collection::vec((arb_expr(), prop::collection::vec(inner.clone(), 0..3)), 1..3),
+                prop::collection::vec(
+                    (arb_expr(), prop::collection::vec(inner.clone(), 0..3)),
+                    1..3
+                ),
                 prop::option::of(prop::collection::vec(inner.clone(), 0..3))
             )
-                .prop_map(|(arms, els)| Stmt::If(arms, els)),
+                .prop_map(|(arms, els)| Stmt::dummy(StmtKind::If(arms, els))),
             (arb_expr(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(c, b)| Stmt::While(c, b)),
+                .prop_map(|(c, b)| Stmt::dummy(StmtKind::While(c, b))),
             (arb_name(), arb_expr(), prop::collection::vec(inner, 0..3))
-                .prop_map(|(v, it, b)| Stmt::For(v, it, b)),
+                .prop_map(|(v, it, b)| Stmt::dummy(StmtKind::For(v, it, b))),
         ]
     })
 }
@@ -136,7 +142,7 @@ fn arb_funcdef() -> impl Strategy<Value = FuncDef> {
         prop::collection::vec(arb_name(), 0..4),
         prop::collection::vec(arb_stmt(), 0..6),
     )
-        .prop_map(|(name, params, body)| FuncDef { name, params, body })
+        .prop_map(|(name, params, body)| FuncDef::new(name, params, body))
 }
 
 proptest! {
@@ -162,12 +168,42 @@ proptest! {
         let prog = vine_lang::parse(&printed)
             .unwrap_or_else(|e| panic!("printed source failed to parse: {e}\n{printed}"));
         prop_assert_eq!(prog.len(), 1);
-        match &prog[0] {
-            Stmt::FuncDef(parsed) => prop_assert_eq!(&**parsed, &def),
+        match &prog[0].kind {
+            StmtKind::FuncDef(parsed) => prop_assert_eq!(&**parsed, &def),
             other => prop_assert!(false, "expected FuncDef, got {:?}", other),
         }
         // and the printer is idempotent
         prop_assert_eq!(format_program(&prog), printed);
+    }
+
+    #[test]
+    fn parse_format_parse_is_fixpoint_with_live_spans(def in arb_funcdef()) {
+        // parse(format(parse(format(def)))) == parse(format(def)), and every
+        // statement parsed from real text carries an in-bounds, non-empty
+        // span whose slice re-parses to that same statement
+        let printed = format_funcdef(&def);
+        let prog = vine_lang::parse(&printed).unwrap();
+        let reformatted = format_program(&prog);
+        // format is a fixpoint after one parse
+        prop_assert_eq!(&reformatted, &printed);
+        let reparsed = vine_lang::parse(&reformatted).unwrap();
+        prop_assert_eq!(&reparsed, &prog);
+
+        let mut bad: Vec<String> = Vec::new();
+        walk_stmts(&prog, &mut |s| {
+            let (start, end) = (s.span.start as usize, s.span.end as usize);
+            if start >= end || end > printed.len() {
+                bad.push(format!("out-of-bounds span {start}..{end}: {:?}", s.kind));
+                return;
+            }
+            let text = s.span.slice(&printed);
+            match vine_lang::parse(text) {
+                Ok(sub) if sub.len() == 1 && sub[0] == *s => {}
+                Ok(sub) => bad.push(format!("slice {text:?} parsed to {sub:?}")),
+                Err(e) => bad.push(format!("slice {text:?} failed to parse: {e}")),
+            }
+        });
+        prop_assert!(bad.is_empty(), "span violations: {:#?}", bad);
     }
 
     #[test]

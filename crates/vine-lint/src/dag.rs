@@ -1,0 +1,141 @@
+//! DAG-layer lints: will this invocation graph ever finish?
+//!
+//! A dependency cycle deadlocks the whole app (every node waits on the
+//! others forever), and an arity mismatch or unknown target fails only
+//! when the invocation finally reaches a worker — after its entire
+//! upstream subgraph ran for nothing. Both are statically decidable at
+//! submit time.
+
+use crate::diag::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One invocation node, decoupled from any particular app builder so the
+/// linter can check graphs from `vine-dag`, tests, or tools alike.
+#[derive(Clone, Debug)]
+pub struct DagNode {
+    pub id: u64,
+    pub library: String,
+    pub function: String,
+    /// Total argument count (values and result-references together).
+    pub argc: usize,
+    /// Ids of nodes whose results feed this one.
+    pub deps: Vec<u64>,
+}
+
+/// V033 + V034 + V035 for one invocation graph. `arities` maps library →
+/// function → parameter count for everything installed on the runtime.
+pub fn lint_dag(
+    nodes: &[DagNode],
+    arities: &BTreeMap<String, BTreeMap<String, usize>>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let ids: BTreeSet<u64> = nodes.iter().map(|n| n.id).collect();
+
+    for n in nodes {
+        match arities.get(&n.library) {
+            None => {
+                diags.push(
+                    Diagnostic::error(
+                        "V035",
+                        "unknown-target",
+                        format!(
+                            "node {} invokes library `{}`, which is not installed",
+                            n.id, n.library
+                        ),
+                    )
+                    .with_help("install the library before building the app"),
+                );
+            }
+            Some(funcs) => match funcs.get(&n.function) {
+                None => {
+                    diags.push(
+                        Diagnostic::error(
+                            "V035",
+                            "unknown-target",
+                            format!(
+                                "node {} invokes `{}.{}`, but the library does not export \
+                                 that function",
+                                n.id, n.library, n.function
+                            ),
+                        )
+                        .with_help("check the spec's function list"),
+                    );
+                }
+                Some(params) => {
+                    if n.argc != *params {
+                        diags.push(
+                            Diagnostic::error(
+                                "V034",
+                                "arity-mismatch",
+                                format!(
+                                    "node {} calls `{}.{}` with {} argument(s); it takes {}",
+                                    n.id, n.library, n.function, n.argc, params
+                                ),
+                            )
+                            .with_help(
+                                "this invocation would fail on the worker after all its \
+                                 dependencies ran",
+                            ),
+                        );
+                    }
+                }
+            },
+        }
+        for d in &n.deps {
+            if !ids.contains(d) {
+                diags.push(
+                    Diagnostic::error(
+                        "V035",
+                        "unknown-target",
+                        format!("node {} depends on node {d}, which does not exist", n.id),
+                    )
+                    .with_help("result references must name nodes in the same app"),
+                );
+            }
+        }
+    }
+
+    // Kahn's algorithm; whatever survives sits on a cycle.
+    let mut indegree: BTreeMap<u64, usize> = ids.iter().map(|&id| (id, 0)).collect();
+    let mut dependents: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for n in nodes {
+        for d in &n.deps {
+            if ids.contains(d) {
+                *indegree.get_mut(&n.id).unwrap() += 1;
+                dependents.entry(*d).or_default().push(n.id);
+            }
+        }
+    }
+    let mut ready: Vec<u64> = indegree
+        .iter()
+        .filter(|(_, &deg)| deg == 0)
+        .map(|(&id, _)| id)
+        .collect();
+    let mut done = 0usize;
+    while let Some(id) = ready.pop() {
+        done += 1;
+        for &dep in dependents.get(&id).into_iter().flatten() {
+            let deg = indegree.get_mut(&dep).unwrap();
+            *deg -= 1;
+            if *deg == 0 {
+                ready.push(dep);
+            }
+        }
+    }
+    if done < ids.len() {
+        let stuck: Vec<u64> = indegree
+            .into_iter()
+            .filter(|(_, deg)| *deg > 0)
+            .map(|(id, _)| id)
+            .collect();
+        diags.push(
+            Diagnostic::error(
+                "V033",
+                "dag-cycle",
+                format!("invocation graph has a dependency cycle through node(s) {stuck:?}"),
+            )
+            .with_help("no node on the cycle can ever become ready; the app would hang"),
+        );
+    }
+    diags
+}

@@ -1,0 +1,263 @@
+//! The diagnostics framework: codes, severities, and rustc-style rendering.
+//!
+//! A [`Diagnostic`] is one finding (code + severity + message, optionally
+//! anchored to a [`Span`] in the analyzed source); a [`Report`] is every
+//! finding for one analysis target, carrying the source text so rendering
+//! can excerpt the offending line under a caret the way rustc does.
+
+use std::fmt;
+use vine_lang::Span;
+
+/// How bad a finding is. `Error` findings reject a library at install
+/// pre-flight; `Warning` findings are logged and execution proceeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One static-analysis finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"V010"`. The catalog lives in DESIGN.md.
+    pub code: &'static str,
+    /// Short slug naming the lint, e.g. `"undefined-name"`.
+    pub name: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    /// Where in the analyzed source the finding anchors (None for findings
+    /// about specs or DAGs, which have no source text).
+    pub span: Option<Span>,
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, name: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            name,
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            help: None,
+        }
+    }
+
+    pub fn warning(
+        code: &'static str,
+        name: &'static str,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, name, message)
+        }
+    }
+
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render this finding in rustc's layout:
+    ///
+    /// ```text
+    /// error[V010]: name `foo` is not defined
+    ///  --> lnni.vine:7:5
+    ///   |
+    /// 7 |     push(classes, foo)
+    ///   |     ^^^^^^^^^^^^^^^^^^
+    ///   = help: define it or publish it from a context setup via `global`
+    /// ```
+    pub fn render(&self, origin: &str, src: Option<&str>) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        match (self.span, src) {
+            (Some(span), Some(src)) if !span.is_dummy() || span.end > span.start => {
+                let (line, col) = span.line_col(src);
+                out.push_str(&format!(" --> {origin}:{line}:{col}\n"));
+                let line_text = src.lines().nth(line as usize - 1).unwrap_or("");
+                let gutter = line.to_string();
+                let pad = " ".repeat(gutter.len());
+                out.push_str(&format!("{pad} |\n"));
+                out.push_str(&format!("{gutter} | {line_text}\n"));
+                // carets under the span, clipped to this line
+                let start = col as usize - 1;
+                let span_len = (span.end - span.start) as usize;
+                let width = span_len.min(line_text.len().saturating_sub(start)).max(1);
+                out.push_str(&format!(
+                    "{pad} | {}{}\n",
+                    " ".repeat(start),
+                    "^".repeat(width)
+                ));
+                if let Some(help) = &self.help {
+                    out.push_str(&format!("{pad} = help: {help}\n"));
+                }
+            }
+            _ => {
+                out.push_str(&format!(" --> {origin}\n"));
+                if let Some(help) = &self.help {
+                    out.push_str(&format!(" = help: {help}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Every finding for one analysis target (a source file, a library spec, a
+/// DAG), with the context needed to render them.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// What was analyzed — a filename, a library name, "app dag".
+    pub origin: String,
+    /// The analyzed source text, when there is one.
+    pub source: Option<String>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new(origin: impl Into<String>) -> Report {
+        Report {
+            origin: origin.into(),
+            source: None,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    pub fn with_source(origin: impl Into<String>, source: impl Into<String>) -> Report {
+        Report {
+            origin: origin.into(),
+            source: Some(source.into()),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// Errors first, then warnings; within a severity, by source position.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by_key(|d| {
+            (
+                std::cmp::Reverse(d.severity),
+                d.span.map_or(u32::MAX, |s| s.start),
+                d.code,
+            )
+        });
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if `code` was reported.
+    pub fn has(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Render every finding plus a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(&self.origin, self.source.as_deref()));
+            out.push('\n');
+        }
+        match (self.error_count(), self.warning_count()) {
+            (0, 0) => out.push_str(&format!("{}: clean\n", self.origin)),
+            (e, w) => out.push_str(&format!("{}: {e} error(s), {w} warning(s)\n", self.origin)),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_with_span_excerpts_the_line() {
+        let src = "x = 1\ny = missing + 2\n";
+        let span = Span::new(6, 21); // the whole second statement
+        let d = Diagnostic::error("V010", "undefined-name", "name `missing` is not defined")
+            .with_span(span)
+            .with_help("define it before use");
+        let r = d.render("test.vine", Some(src));
+        assert!(
+            r.contains("error[V010]: name `missing` is not defined"),
+            "{r}"
+        );
+        assert!(r.contains(" --> test.vine:2:1"), "{r}");
+        assert!(r.contains("2 | y = missing + 2"), "{r}");
+        assert!(r.contains("^^^^^^^^^^^^^^^"), "{r}");
+        assert!(r.contains("= help: define it before use"), "{r}");
+    }
+
+    #[test]
+    fn render_without_span_still_names_origin() {
+        let d = Diagnostic::warning(
+            "V021",
+            "unused-dependency",
+            "dependency `mathx` never imported",
+        );
+        let r = d.render("spec lnni", None);
+        assert!(r.starts_with("warning[V021]:"), "{r}");
+        assert!(r.contains(" --> spec lnni"), "{r}");
+    }
+
+    #[test]
+    fn report_counts_and_sorting() {
+        let mut rep = Report::with_source("t.vine", "a = 1\nb = 2\n");
+        rep.push(Diagnostic::warning("V011", "unused-binding", "w").with_span(Span::new(0, 5)));
+        rep.push(Diagnostic::error("V010", "undefined-name", "e").with_span(Span::new(6, 11)));
+        rep.sort();
+        assert_eq!(rep.diagnostics[0].code, "V010", "errors sort first");
+        assert_eq!(rep.error_count(), 1);
+        assert_eq!(rep.warning_count(), 1);
+        assert!(rep.has_errors());
+        assert!(!rep.is_clean());
+        assert!(rep.has("V011"));
+        assert!(!rep.has("V033"));
+        assert!(rep.render().contains("t.vine: 1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn clean_report_renders_summary_only() {
+        let rep = Report::new("lnni");
+        assert!(rep.is_clean());
+        assert_eq!(rep.render(), "lnni: clean\n");
+    }
+}

@@ -1,0 +1,138 @@
+//! Environment-layer lints: imports vs. the module/package world, and
+//! library specs vs. the code they claim to package.
+//!
+//! The paper's element 2 ("the code's dependencies", §2.2.1) is resolved at
+//! package time; these checks run before that, so a worker never unpacks a
+//! 3.1 GB environment only to fail on the first `import`.
+
+use crate::diag::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+use vine_core::LibrarySpec;
+use vine_lang::ast::{walk_stmts, Program, Span, StmtKind};
+
+/// V020 + V021: imports that nothing provides, and declared dependencies
+/// that nothing imports.
+///
+/// `available` is the union of module names something can provide (native
+/// registry entries, source modules, package-catalog `provides_module`
+/// names). `declared` — when the caller knows the spec's dependency list —
+/// enables the unused-dependency check; pass `None` to skip it (e.g. the
+/// CLI, which has no spec in hand).
+pub fn lint_environment(
+    prog: &Program,
+    available: &BTreeSet<String>,
+    declared: Option<&BTreeSet<String>>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut imported: BTreeMap<String, Span> = BTreeMap::new();
+    walk_stmts(prog, &mut |s| {
+        if let StmtKind::Import(n) = &s.kind {
+            imported.entry(n.clone()).or_insert(s.span);
+        }
+    });
+    for (n, span) in &imported {
+        if !available.contains(n) {
+            diags.push(
+                Diagnostic::error(
+                    "V020",
+                    "missing-import",
+                    format!("imported module `{n}` is not provided by any registry or package"),
+                )
+                .with_span(*span)
+                .with_help(
+                    "register the module, add a package that provides it, or drop the import",
+                ),
+            );
+        }
+    }
+    if let Some(declared) = declared {
+        for dep in declared {
+            if !imported.contains_key(dep) {
+                diags.push(
+                    Diagnostic::warning(
+                        "V021",
+                        "unused-dependency",
+                        format!("declared dependency `{dep}` is never imported"),
+                    )
+                    .with_help(
+                        "every declared package is packed, shipped, and unpacked on each \
+                         worker; remove it to shrink the context",
+                    ),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// What the caller knows about the code backing a [`LibrarySpec`], gathered
+/// from whatever mix of source text and serialized blobs the library ships.
+#[derive(Clone, Debug, Default)]
+pub struct SpecFacts {
+    /// Every function name the library's code defines: top-level `def`s
+    /// parsed from source plus names recovered from serialized artifacts.
+    pub defined_functions: BTreeSet<String>,
+    /// Parameter counts for functions whose definitions were parseable.
+    pub arities: BTreeMap<String, usize>,
+    /// How many setup arguments the installer will pass, when known (the
+    /// runtime knows; the CLI analyzing bare source does not).
+    pub setup_argc: Option<usize>,
+}
+
+/// V022 + V023 + V024: the spec's function list and setup hook must both
+/// resolve against the code the library actually ships.
+pub fn lint_spec(spec: &LibrarySpec, facts: &SpecFacts) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in &spec.functions {
+        if !facts.defined_functions.contains(f) {
+            diags.push(
+                Diagnostic::error(
+                    "V022",
+                    "missing-function",
+                    format!(
+                        "library `{}` exports function `{f}`, but no shipped code defines it",
+                        spec.name
+                    ),
+                )
+                .with_help("define it in the library source or include its serialized form"),
+            );
+        }
+    }
+    if let Some(setup) = &spec.context.setup {
+        if !facts.defined_functions.contains(&setup.function) {
+            diags.push(
+                Diagnostic::error(
+                    "V023",
+                    "missing-setup",
+                    format!(
+                        "library `{}` names `{}` as its context setup, but no shipped code \
+                         defines it",
+                        spec.name, setup.function
+                    ),
+                )
+                .with_help("the setup function must ship with the context code artifacts"),
+            );
+        } else if let (Some(argc), Some(params)) =
+            (facts.setup_argc, facts.arities.get(&setup.function))
+        {
+            if argc != *params {
+                diags.push(
+                    Diagnostic::error(
+                        "V024",
+                        "setup-arity",
+                        format!(
+                            "context setup `{}` takes {params} parameter(s) but {argc} \
+                             argument(s) are supplied",
+                            setup.function
+                        ),
+                    )
+                    .with_help(
+                        "setup runs once per library instance on the worker; an arity \
+                         mismatch there poisons every slot",
+                    ),
+                );
+            }
+        }
+    }
+    diags
+}

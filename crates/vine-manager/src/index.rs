@@ -169,7 +169,12 @@ mod tests {
     fn points(n: u32) -> Vec<(u64, WorkerId)> {
         // arbitrary distinct points; sorted as the ring keeps them
         let mut v: Vec<(u64, WorkerId)> = (0..n)
-            .map(|i| (u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15), WorkerId(i)))
+            .map(|i| {
+                (
+                    u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    WorkerId(i),
+                )
+            })
             .collect();
         v.sort_unstable();
         v
@@ -180,7 +185,10 @@ mod tests {
         let pts = points(13);
         let mut avail: BTreeMap<WorkerId, Resources> = BTreeMap::new();
         for (i, (_, w)) in pts.iter().enumerate() {
-            avail.insert(*w, Resources::new(i as u32 % 5, 1024 * (i as u64 % 3), 4096));
+            avail.insert(
+                *w,
+                Resources::new(i as u32 % 5, 1024 * (i as u64 % 3), 4096),
+            );
         }
         let total = Resources::new(8, 4096, 4096);
         let mut idx = FitIndex::new();
@@ -201,8 +209,8 @@ mod tests {
         let mut idx = FitIndex::new();
         idx.rebuild(&pts, |_| (total, total));
         // everyone free: the first from any start is that leaf itself
-        for s in 0..4 {
-            assert_eq!(idx.first_free(s), Some(pts[s].1));
+        for (s, pt) in pts.iter().enumerate() {
+            assert_eq!(idx.first_free(s), Some(pt.1));
         }
         // occupy leaf 1
         idx.update(pts[1].1, Resources::new(1, 50, 50), total);

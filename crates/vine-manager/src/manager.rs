@@ -230,7 +230,10 @@ impl Manager {
             }
             // Starting instances count all their slots as free, so this
             // reclaims exactly what the install promised
-            let supply = self.pending_supply.entry(inst.spec.name.clone()).or_insert(0);
+            let supply = self
+                .pending_supply
+                .entry(inst.spec.name.clone())
+                .or_insert(0);
             *supply -= i64::from(inst.free_slots());
             touched.push(inst.spec.name.clone());
         }
@@ -284,7 +287,10 @@ impl Manager {
             WorkUnit::Task(t) => self.queue_tasks.push_back(t),
             WorkUnit::Call(c) => {
                 let lib = c.library.clone();
-                self.queue_calls.entry(lib.clone()).or_default().push_back(c);
+                self.queue_calls
+                    .entry(lib.clone())
+                    .or_default()
+                    .push_back(c);
                 self.queued_calls += 1;
                 self.reindex_lib(&lib);
             }
@@ -297,7 +303,10 @@ impl Manager {
             WorkUnit::Task(t) => self.queue_tasks.push_front(t),
             WorkUnit::Call(c) => {
                 let lib = c.library.clone();
-                self.queue_calls.entry(lib.clone()).or_default().push_front(c);
+                self.queue_calls
+                    .entry(lib.clone())
+                    .or_default()
+                    .push_front(c);
                 self.queued_calls += 1;
                 self.reindex_lib(&lib);
             }
@@ -376,7 +385,10 @@ impl Manager {
             .unwrap();
         self.queued_calls -= 1;
 
-        let w = self.workers.get_mut(&worker).expect("indexed worker exists");
+        let w = self
+            .workers
+            .get_mut(&worker)
+            .expect("indexed worker exists");
         w.begin_call(instance, &call)
             .expect("slot index promised a free slot");
         self.consume_slot(&lib_name, worker, instance);
@@ -579,11 +591,7 @@ impl Manager {
 
     /// The substrate finished booting a library and its context setup
     /// succeeded (§3.4 step 2).
-    pub fn library_ready(
-        &mut self,
-        worker: WorkerId,
-        instance: LibraryInstanceId,
-    ) -> Result<()> {
+    pub fn library_ready(&mut self, worker: WorkerId, instance: LibraryInstanceId) -> Result<()> {
         let w = self
             .workers
             .get_mut(&worker)
@@ -650,11 +658,7 @@ impl Manager {
     }
 
     /// Explicitly remove an idle library (application-driven uninstall).
-    pub fn evict_instance(
-        &mut self,
-        worker: WorkerId,
-        instance: LibraryInstanceId,
-    ) -> Result<()> {
+    pub fn evict_instance(&mut self, worker: WorkerId, instance: LibraryInstanceId) -> Result<()> {
         self.remove_instance(worker, instance).map(|_| ())
     }
 
@@ -710,7 +714,10 @@ mod tests {
     fn drain(m: &mut Manager) -> Vec<Decision> {
         let mut out = Vec::new();
         while let Some(d) = m.next_decision() {
-            if let Decision::InstallLibrary { worker, instance, .. } = &d {
+            if let Decision::InstallLibrary {
+                worker, instance, ..
+            } = &d
+            {
                 m.library_ready(*worker, *instance).unwrap();
             }
             out.push(d);
@@ -761,7 +768,10 @@ mod tests {
         m.submit(call(1));
         let decisions = drain(&mut m);
         m.unit_finished(UnitId::Call(InvocationId(1))).unwrap();
-        let Decision::InstallLibrary { worker, instance, .. } = &decisions[0] else {
+        let Decision::InstallLibrary {
+            worker, instance, ..
+        } = &decisions[0]
+        else {
             panic!()
         };
         // evict, then demand again: the env file is already cached
@@ -973,7 +983,10 @@ mod tests {
         let mut m = manager_with_workers(1);
         m.submit(call(1));
         let d = m.next_decision().unwrap();
-        let Decision::InstallLibrary { worker, instance, .. } = d else {
+        let Decision::InstallLibrary {
+            worker, instance, ..
+        } = d
+        else {
             panic!()
         };
         m.library_startup_failed(worker, instance).unwrap();
@@ -1032,7 +1045,9 @@ mod tests {
         assert!(t.inputs[0].cache, "input starts cacheable");
         m.submit(WorkUnit::Task(t));
         match m.next_decision().unwrap() {
-            Decision::DispatchTask { worker, missing, .. } => {
+            Decision::DispatchTask {
+                worker, missing, ..
+            } => {
                 assert_eq!(missing.len(), 1, "the blob must still be staged");
                 assert!(
                     !missing[0].cache,

@@ -179,10 +179,7 @@ impl NaiveManager {
 
     fn dispatch_call(&mut self) -> Option<Decision> {
         let (lib_name, key) = self.ready_slots.iter().find_map(|(name, slots)| {
-            let has_queue = self
-                .queue_calls
-                .get(name)
-                .is_some_and(|q| !q.is_empty());
+            let has_queue = self.queue_calls.get(name).is_some_and(|q| !q.is_empty());
             if has_queue {
                 slots.keys().next().map(|k| (name.clone(), *k))
             } else {
@@ -197,7 +194,10 @@ impl NaiveManager {
             .pop_front()
             .unwrap();
 
-        let w = self.workers.get_mut(&worker).expect("indexed worker exists");
+        let w = self
+            .workers
+            .get_mut(&worker)
+            .expect("indexed worker exists");
         w.begin_call(instance, &call)
             .expect("slot index promised a free slot");
         self.consume_slot(&lib_name, worker, instance);

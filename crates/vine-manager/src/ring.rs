@@ -152,7 +152,11 @@ mod tests {
             let after = r.walk(&format!("key-{i}")).next().unwrap();
             if after != *before {
                 moved += 1;
-                assert_eq!(*before, WorkerId(17), "only keys on the removed worker move");
+                assert_eq!(
+                    *before,
+                    WorkerId(17),
+                    "only keys on the removed worker move"
+                );
             }
         }
         assert!(moved <= 10, "moved {moved} of 100");

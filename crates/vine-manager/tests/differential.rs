@@ -102,7 +102,11 @@ fn worker_resources(seed: u64) -> Resources {
     let cores = 2 + (seed % 7) as u32 * 2;
     let mem = 4096 + (seed % 5) * 2048;
     // every third worker gets a disk smaller than the large pool files
-    let disk = if seed % 3 == 0 { 1 + seed % 4 } else { 64 };
+    let disk = if seed.is_multiple_of(3) {
+        1 + seed % 4
+    } else {
+        64
+    };
     Resources::new(cores, mem, disk)
 }
 
@@ -243,7 +247,9 @@ fn run_script(ops: &[Op]) -> Result<(), TestCaseError> {
             }
             Op::Finish { count } => {
                 for _ in 0..*count {
-                    let Some(u) = h.running.pop_front() else { break };
+                    let Some(u) = h.running.pop_front() else {
+                        break;
+                    };
                     let pa = h.idx.unit_finished(u);
                     let pb = h.naive.unit_finished(u);
                     prop_assert_eq!(pa.as_ref().ok(), pb.as_ref().ok());
@@ -319,7 +325,10 @@ fn scripts_reach_every_decision_kind() {
     let ops = vec![
         Op::SubmitCalls { lib: 0, count: 8 },
         Op::SubmitCalls { lib: 1, count: 6 },
-        Op::SubmitCalls { lib: GHOST, count: 2 },
+        Op::SubmitCalls {
+            lib: GHOST,
+            count: 2,
+        },
         Op::SubmitTask { seed: 0b101011 },
         Op::SubmitTask { seed: 0b011100 },
         Op::Drain { limit: 20 },
@@ -338,7 +347,9 @@ fn scripts_reach_every_decision_kind() {
     for op in &ops {
         if let Op::Drain { limit } = op {
             for _ in 0..*limit {
-                let Some(d) = h.idx.next_decision() else { break };
+                let Some(d) = h.idx.next_decision() else {
+                    break;
+                };
                 assert_eq!(Some(&d), h.naive.next_decision().as_ref());
                 kinds[match &d {
                     Decision::InstallLibrary { .. } => 0,
@@ -389,7 +400,9 @@ fn apply_non_drain(h: &mut Harness, op: &Op) {
         }
         Op::Finish { count } => {
             for _ in 0..*count {
-                let Some(u) = h.running.pop_front() else { break };
+                let Some(u) = h.running.pop_front() else {
+                    break;
+                };
                 let _ = h.idx.unit_finished(u);
                 let _ = h.naive.unit_finished(u);
                 h.units.remove(&u);

@@ -71,8 +71,7 @@ fn daemon_main(
             .exec_source(&image.source)
             .map_err(|e| format!("library source: {e}"))?;
         for blob in &image.serialized_functions {
-            let def =
-                pickle::deserialize_funcdef(blob).map_err(|e| format!("code object: {e}"))?;
+            let def = pickle::deserialize_funcdef(blob).map_err(|e| format!("code object: {e}"))?;
             interp.bind_function(def);
         }
         if let Some((setup_fn, args_blob)) = &image.setup {
@@ -110,7 +109,11 @@ fn daemon_main(
                     ExecMode::Direct => run_direct(&mut interp, &function, &args_blob),
                     ExecMode::Fork => run_forked(&interp, &function, &args_blob),
                 };
-                let _ = events.send((worker, instance, LibraryToWorker::ResultReady { id, result }));
+                let _ = events.send((
+                    worker,
+                    instance,
+                    LibraryToWorker::ResultReady { id, result },
+                ));
             }
         }
     }
@@ -119,9 +122,10 @@ fn daemon_main(
 /// Direct option: execute synchronously inside the daemon's own memory
 /// space; invocations may mutate the shared context.
 fn run_direct(interp: &mut Interp, function: &str, args_blob: &[u8]) -> Result<Vec<u8>, String> {
-    let args =
-        pickle::deserialize_args(args_blob, &interp.globals).map_err(|e| e.to_string())?;
-    let out = interp.call_global(function, &args).map_err(|e| e.to_string())?;
+    let args = pickle::deserialize_args(args_blob, &interp.globals).map_err(|e| e.to_string())?;
+    let out = interp
+        .call_global(function, &args)
+        .map_err(|e| e.to_string())?;
     pickle::serialize_value(&out).map_err(|e| e.to_string())
 }
 
@@ -182,7 +186,9 @@ fn run_forked(interp: &Interp, function: &str, args_blob: &[u8]) -> Result<Vec<u
             pickle::serialize_value(&out).map_err(|e| e.to_string())
         })
         .map_err(|e| format!("fork failed: {e}"))?;
-    child.join().map_err(|_| "forked invocation panicked".to_string())?
+    child
+        .join()
+        .map_err(|_| "forked invocation panicked".to_string())?
 }
 
 #[cfg(test)]
@@ -203,7 +209,12 @@ mod tests {
         def read_counter() { return counter }
     "#;
 
-    fn boot(mode: ExecMode) -> (LibraryHost, Receiver<(WorkerId, LibraryInstanceId, LibraryToWorker)>) {
+    fn boot(
+        mode: ExecMode,
+    ) -> (
+        LibraryHost,
+        Receiver<(WorkerId, LibraryInstanceId, LibraryToWorker)>,
+    ) {
         let (etx, erx) = crossbeam::channel::unbounded();
         let image = LibraryImage {
             instance: LibraryInstanceId(1),
@@ -315,18 +326,14 @@ mod tests {
         origin
             .exec_source("def mystery(x) { return x * 41 + 1 }")
             .unwrap();
-        let blob =
-            pickle::serialize_value(&origin.get_global("mystery").unwrap()).unwrap();
+        let blob = pickle::serialize_value(&origin.get_global("mystery").unwrap()).unwrap();
 
         let (etx, erx) = crossbeam::channel::unbounded();
         let image = LibraryImage {
             instance: LibraryInstanceId(3),
             source: String::new(),
-            serialized_functions: vec![match pickle::deserialize_value(
-                &blob,
-                &origin.globals,
-            )
-            .unwrap()
+            serialized_functions: vec![match pickle::deserialize_value(&blob, &origin.globals)
+                .unwrap()
             {
                 Value::Func(f) => pickle::serialize_funcdef(&f.def),
                 _ => unreachable!(),
@@ -336,7 +343,15 @@ mod tests {
         };
         let host = spawn_library(WorkerId(0), image, ModuleRegistry::new(), etx);
         assert!(matches!(erx.recv().unwrap().2, LibraryToWorker::Ready));
-        let out = invoke(&host, &erx, 1, "mystery", &[Value::Int(2)], ExecMode::Direct).unwrap();
+        let out = invoke(
+            &host,
+            &erx,
+            1,
+            "mystery",
+            &[Value::Int(2)],
+            ExecMode::Direct,
+        )
+        .unwrap();
         assert_eq!(out, Value::Int(83));
         host.tx.send(WorkerToLibrary::Shutdown).unwrap();
     }

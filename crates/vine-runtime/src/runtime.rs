@@ -4,7 +4,7 @@
 use crate::library_host::LibraryImage;
 use crate::worker_host::{spawn_worker, RuntimeEvent, WorkerCmd, WorkerHandle};
 use crossbeam::channel::Receiver;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 use vine_core::context::LibrarySpec;
 use vine_core::ids::WorkerId;
@@ -42,6 +42,8 @@ struct LibraryTemplate {
     serialized_functions: Vec<Vec<u8>>,
     setup_args_blob: Option<Vec<u8>>,
     mode: ExecMode,
+    /// Parameter count per exported function, for submit-time validation.
+    arities: BTreeMap<String, usize>,
 }
 
 /// A live in-process cluster.
@@ -57,12 +59,19 @@ pub struct Runtime {
     pub unit_durations: Vec<(UnitId, Duration)>,
     dispatch_times: BTreeMap<UnitId, Instant>,
     idle_timeout: Duration,
+    /// Module names the workers' activated environment provides, retained
+    /// for install-time pre-flight analysis.
+    module_names: BTreeSet<String>,
+    /// Capacity of each worker, retained for placement pre-flight.
+    worker_caps: Vec<Resources>,
 }
 
 impl Runtime {
     /// Boot a cluster of worker threads.
     pub fn new(cfg: RuntimeConfig) -> Runtime {
         let (etx, erx) = crossbeam::channel::unbounded();
+        let module_names: BTreeSet<String> = cfg.registry.names().map(|n| n.to_string()).collect();
+        let worker_caps = vec![cfg.worker_resources; cfg.workers];
         let mut mgr = Manager::new();
         let mut workers = BTreeMap::new();
         for i in 0..cfg.workers {
@@ -80,6 +89,8 @@ impl Runtime {
             unit_durations: Vec::new(),
             dispatch_times: BTreeMap::new(),
             idle_timeout: cfg.idle_timeout,
+            module_names,
+            worker_caps,
         }
     }
 
@@ -87,6 +98,11 @@ impl Runtime {
     /// need to boot it — module source, serialized code objects, and
     /// context-setup arguments (Fig 5's `create_library_from_functions` +
     /// `install_library`).
+    ///
+    /// Runs the `vine-lint` pre-flight first: a library that would only
+    /// fail after its context shipped to workers is rejected here instead
+    /// (hard errors return [`VineError::Lint`]; warnings are logged to
+    /// stderr and installation proceeds).
     pub fn install_library(
         &mut self,
         spec: LibrarySpec,
@@ -94,6 +110,39 @@ impl Runtime {
         serialized_functions: Vec<Vec<u8>>,
         setup_args: &[Value],
     ) -> Result<()> {
+        // recover names and arities from serialized code objects, so the
+        // linter and submit-time validation see them like source defs
+        let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+        let mut serialized_names = Vec::with_capacity(serialized_functions.len());
+        for blob in &serialized_functions {
+            let def = pickle::deserialize_funcdef(blob)?;
+            serialized_names.push(def.name.clone());
+            arities.insert(def.name.clone(), def.params.len());
+        }
+        let pre = vine_lint::LibraryPreflight {
+            available_modules: self.module_names.clone(),
+            declared_deps: None,
+            workers: self.worker_caps.clone(),
+            serialized_functions: serialized_names,
+            setup_argc: spec.context.setup.as_ref().map(|_| setup_args.len()),
+        };
+        let report = vine_lint::lint_library(&spec, source, &pre);
+        if report.has_errors() {
+            return Err(VineError::Lint(report.render()));
+        }
+        if !report.is_clean() {
+            eprintln!("{}", report.render());
+        }
+        if !source.is_empty() {
+            if let Ok(prog) = vine_lang::parse(source) {
+                for s in &prog {
+                    if let vine_lang::ast::StmtKind::FuncDef(f) = &s.kind {
+                        arities.insert(f.name.clone(), f.params.len());
+                    }
+                }
+            }
+        }
+        arities.retain(|name, _| spec.hosts_function(name));
         let setup_args_blob = if spec.context.setup.is_some() {
             Some(pickle::serialize_args(setup_args)?)
         } else {
@@ -106,10 +155,31 @@ impl Runtime {
                 serialized_functions,
                 setup_args_blob,
                 mode: spec.exec_mode,
+                arities,
             },
         );
         self.mgr.register_library(spec);
         Ok(())
+    }
+
+    /// Parameter count of an installed library's exported function, when
+    /// known. `None` means the library or function is not installed.
+    pub fn function_arity(&self, library: &str, function: &str) -> Option<usize> {
+        self.templates.get(library)?.arities.get(function).copied()
+    }
+
+    /// Arity map of every installed library, in the shape
+    /// [`vine_lint::lint_dag`] consumes: library → function → params.
+    pub fn library_arities(&self) -> BTreeMap<String, BTreeMap<String, usize>> {
+        self.templates
+            .iter()
+            .map(|(name, t)| (name.clone(), t.arities.clone()))
+            .collect()
+    }
+
+    /// Capacity of each worker in the cluster (placement pre-flight input).
+    pub fn worker_capacities(&self) -> &[Resources] {
+        &self.worker_caps
     }
 
     pub fn submit(&mut self, unit: WorkUnit) {
@@ -148,16 +218,13 @@ impl Runtime {
             if self.mgr.is_idle() {
                 return Ok(None);
             }
-            let ev = self
-                .events
-                .recv_timeout(self.idle_timeout)
-                .map_err(|_| {
-                    VineError::Timeout(format!(
-                        "no progress for {:?} with {} unit(s) outstanding",
-                        self.idle_timeout,
-                        self.mgr.pending()
-                    ))
-                })?;
+            let ev = self.events.recv_timeout(self.idle_timeout).map_err(|_| {
+                VineError::Timeout(format!(
+                    "no progress for {:?} with {} unit(s) outstanding",
+                    self.idle_timeout,
+                    self.mgr.pending()
+                ))
+            })?;
             self.handle(ev)?;
             while let Ok(ev) = self.events.try_recv() {
                 self.handle(ev)?;
@@ -173,16 +240,13 @@ impl Runtime {
             if self.mgr.is_idle() {
                 break;
             }
-            let ev = self
-                .events
-                .recv_timeout(self.idle_timeout)
-                .map_err(|_| {
-                    VineError::Timeout(format!(
-                        "no progress for {:?} with {} unit(s) outstanding",
-                        self.idle_timeout,
-                        self.mgr.pending()
-                    ))
-                })?;
+            let ev = self.events.recv_timeout(self.idle_timeout).map_err(|_| {
+                VineError::Timeout(format!(
+                    "no progress for {:?} with {} unit(s) outstanding",
+                    self.idle_timeout,
+                    self.mgr.pending()
+                ))
+            })?;
             self.handle(ev)?;
             // drain anything else that is already waiting
             while let Ok(ev) = self.events.try_recv() {

@@ -227,8 +227,7 @@ mod tests {
             text: "def f(a, b) { return a * b }".into(),
         }];
         task.function = Some("f".into());
-        task.args_blob =
-            pickle::serialize_args(&[Value::Int(6), Value::Int(7)]).unwrap();
+        task.args_blob = pickle::serialize_args(&[Value::Int(6), Value::Int(7)]).unwrap();
         let outcome = execute_task(&task, ModuleRegistry::new());
         assert!(outcome.success, "{:?}", outcome.error);
         let g = std::rc::Rc::new(std::cell::RefCell::new(Default::default()));

@@ -275,8 +275,7 @@ impl<'w> Driver<'w> {
         while let Some((t, ev)) = self.q.pop() {
             match ev {
                 Ev::WorkerConnect(w) => {
-                    self.mgr
-                        .worker_joined(w, self.cfg.worker_resources);
+                    self.mgr.worker_joined(w, self.cfg.worker_resources);
                     self.connected += 1;
                     let threshold = (self.cfg.workers as f64 * 0.95).ceil() as usize;
                     if self.connected >= threshold && self.app_start.is_none() {
@@ -378,10 +377,7 @@ impl<'w> Driver<'w> {
         let c = &self.cfg.cost;
         match d {
             Decision::DispatchTask { task, missing, .. } => {
-                let l1_style = task
-                    .inputs
-                    .iter()
-                    .any(|f| f.source == FileSource::SharedFs);
+                let l1_style = task.inputs.iter().any(|f| f.source == FileSource::SharedFs);
                 c.task_dispatch_cost(!l1_style && missing.is_empty(), self.mgr.pending())
             }
             Decision::DispatchCall { .. } => c.call_dispatch_cost(self.mgr.pending()),
@@ -488,17 +484,13 @@ impl<'w> Driver<'w> {
                     .sum();
                 let mut worker_fixed = c.sandbox_setup;
                 if unpack > 0 {
-                    worker_fixed +=
-                        SimDuration::for_transfer(unpack, c.env_unpack_bytes_per_sec);
+                    worker_fixed += SimDuration::for_transfer(unpack, c.env_unpack_bytes_per_sec);
                 }
                 steps.push_back(Step {
                     kind: StepKind::Fixed(worker_fixed),
                     phase: Phase::Worker,
                 });
-                let l1_style = task
-                    .inputs
-                    .iter()
-                    .any(|f| f.source == FileSource::SharedFs);
+                let l1_style = task.inputs.iter().any(|f| f.source == FileSource::SharedFs);
                 if l1_style {
                     // the import storm and context read both hit the
                     // shared filesystem (volumes are workload-specific)
@@ -511,8 +503,7 @@ impl<'w> Driver<'w> {
                             phase: Phase::Worker,
                         });
                     }
-                    let bytes =
-                        task.profile.sharedfs_read_bytes + task.profile.context_read_bytes;
+                    let bytes = task.profile.sharedfs_read_bytes + task.profile.context_read_bytes;
                     if bytes > 0 {
                         steps.push_back(Step {
                             kind: StepKind::Flow {
@@ -559,11 +550,8 @@ impl<'w> Driver<'w> {
                         phase: Phase::Exec,
                     });
                 }
-                let mut exec = self.compute_time(
-                    worker,
-                    task.profile.exec_gflop,
-                    task.resources.cores,
-                );
+                let mut exec =
+                    self.compute_time(worker, task.profile.exec_gflop, task.resources.cores);
                 if l1_style {
                     exec = exec * task.profile.l1_exec_slowdown.max(1.0);
                 }

@@ -69,8 +69,7 @@ impl Synthetic {
     fn make_unit(&self, i: u64) -> WorkUnit {
         match self.level {
             ReuseLevel::L3 => {
-                let mut call =
-                    FunctionCall::new(InvocationId(i), "synlib", "work", vec![0u8; 64]);
+                let mut call = FunctionCall::new(InvocationId(i), "synlib", "work", vec![0u8; 64]);
                 call.resources = Resources::lnni_invocation();
                 call.profile = WorkProfile {
                     // the context part is paid by the library, not the call

@@ -372,10 +372,7 @@ mod tests {
 
     #[test]
     fn empty_worker_set() {
-        for topo in [
-            Topology::Star,
-            Topology::FullPeer { fanout_cap: 3 },
-        ] {
+        for topo in [Topology::Star, Topology::FullPeer { fanout_cap: 3 }] {
             let plan = plan_broadcast(&topo, &[]).unwrap();
             assert!(plan.steps.is_empty());
             assert_eq!(plan.depth(), 0);
@@ -406,7 +403,10 @@ mod tests {
             .filter(|(_, s)| s.source == Node::Manager)
             .map(|(i, _)| i)
             .collect();
-        assert_eq!(plan.steps[gateway_steps[1]].depends_on, Some(gateway_steps[0]));
+        assert_eq!(
+            plan.steps[gateway_steps[1]].depends_on,
+            Some(gateway_steps[0])
+        );
         // no cross-cluster worker-to-worker edges
         let cluster_of = |w: WorkerId| (w.0 >= 6) as usize;
         for s in &plan.steps {

@@ -72,9 +72,7 @@ impl LibraryInstance {
     }
 
     pub fn can_accept(&self, function: &str) -> bool {
-        self.state == LibState::Ready
-            && self.free_slots() > 0
-            && self.spec.hosts_function(function)
+        self.state == LibState::Ready && self.free_slots() > 0 && self.spec.hosts_function(function)
     }
 
     pub(crate) fn begin(&mut self, id: InvocationId) -> Result<()> {

@@ -159,11 +159,7 @@ impl WorkerState {
 
     /// Find a Ready instance of `library` hosting `function` with a free
     /// slot.
-    pub fn find_library_for(
-        &self,
-        library: &str,
-        function: &str,
-    ) -> Option<LibraryInstanceId> {
+    pub fn find_library_for(&self, library: &str, function: &str) -> Option<LibraryInstanceId> {
         self.libraries
             .values()
             .find(|l| l.spec.name == library && l.can_accept(function))
@@ -216,7 +212,10 @@ impl WorkerState {
     pub fn begin_task(&mut self, task: &TaskSpec) -> Result<()> {
         let unit = UnitId::Task(task.id);
         if self.tasks.contains_key(&unit) {
-            return Err(VineError::Protocol(format!("task {} already running", task.id)));
+            return Err(VineError::Protocol(format!(
+                "task {} already running",
+                task.id
+            )));
         }
         self.allocate(&task.resources)?;
         let mut sandbox = Sandbox::new(unit);
@@ -358,8 +357,12 @@ mod tests {
         let mut spec = lnni_spec(false);
         spec.resources = Some(Resources::new(20, 1024, 1024));
         let spec = Arc::new(spec);
-        w.install_library(LibraryInstanceId(1), Arc::clone(&spec), &Resources::new(1, 1, 1))
-            .unwrap();
+        w.install_library(
+            LibraryInstanceId(1),
+            Arc::clone(&spec),
+            &Resources::new(1, 1, 1),
+        )
+        .unwrap();
         // second 20-core library does not fit in the remaining 12 cores
         let e = w
             .install_library(LibraryInstanceId(2), spec, &Resources::new(1, 1, 1))
@@ -368,8 +371,12 @@ mod tests {
         // but a small one does
         let mut small = lnni_spec(false);
         small.resources = Some(Resources::new(4, 1024, 1024));
-        w.install_library(LibraryInstanceId(3), Arc::new(small), &Resources::new(1, 1, 1))
-            .unwrap();
+        w.install_library(
+            LibraryInstanceId(3),
+            Arc::new(small),
+            &Resources::new(1, 1, 1),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -378,7 +385,9 @@ mod tests {
         // context files are pinned: the cache refuses to evict them even
         // under pressure (insert something that cannot fit without them)
         let cap = w.cache.capacity();
-        let e = w.file_arrived(ContentHash::of_str("huge"), cap).unwrap_err();
+        let e = w
+            .file_arrived(ContentHash::of_str("huge"), cap)
+            .unwrap_err();
         assert!(matches!(e, VineError::ResourceExhausted(_)));
         // after removal, pins are gone and eviction can proceed
         w.remove_library(id).unwrap();
@@ -405,8 +414,12 @@ mod tests {
     fn dispatch_to_unready_library_fails() {
         let mut w = WorkerState::paper(WorkerId(0));
         let id = LibraryInstanceId(1);
-        w.install_library(id, Arc::new(lnni_spec(false)), &Resources::lnni_invocation())
-            .unwrap();
+        w.install_library(
+            id,
+            Arc::new(lnni_spec(false)),
+            &Resources::lnni_invocation(),
+        )
+        .unwrap();
         assert!(w.begin_call(id, &call(1)).is_err(), "still Starting");
         assert!(w.find_library_for("lnni", "infer").is_none());
         w.library_ready(id).unwrap();

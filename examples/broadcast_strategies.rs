@@ -52,12 +52,13 @@ fn main() {
     println!("4. environment setup: context_setup(layers, dim) runs once per library\n");
 
     // -- distribute ------------------------------------------------------
-    println!("== distribute: broadcasting {:.0} MB to 150 workers (Fig 3) ==",
-        archive.packed_bytes as f64 / 1e6);
+    println!(
+        "== distribute: broadcasting {:.0} MB to 150 workers (Fig 3) ==",
+        archive.packed_bytes as f64 / 1e6
+    );
     let workers: Vec<WorkerId> = (0..150).map(WorkerId).collect();
     let cost = CostModel::paper();
-    let hop =
-        SimDuration::for_transfer(archive.packed_bytes, cost.nic_bytes_per_sec).as_secs_f64();
+    let hop = SimDuration::for_transfer(archive.packed_bytes, cost.nic_bytes_per_sec).as_secs_f64();
     println!("   (one hop over a 10 Gb/s link = {hop:.2} s)\n");
 
     let clusters = vec![workers[..100].to_vec(), workers[100..].to_vec()];

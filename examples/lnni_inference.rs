@@ -11,7 +11,7 @@
 //! cargo run --release -p vine-examples --bin lnni_inference [-- scale]
 //! ```
 
-use vine_apps::lnni::{LnniConfig, LnniWorkload, LibraryStrategy, LNNI_SOURCE};
+use vine_apps::lnni::{LibraryStrategy, LnniConfig, LnniWorkload, LNNI_SOURCE};
 use vine_apps::modules::full_registry;
 use vine_core::config::ReuseLevel;
 use vine_core::context::{ContextSpec, LibrarySpec, SetupSpec};

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Full verification pass: release build, whole-workspace tests, and
-# clippy (warnings denied) on the crates with index/scheduler hot paths.
+# Full verification pass: release build, whole-workspace tests, clippy on
+# every target with warnings denied, and a formatting check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy -p vine-manager -p vine-sim -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

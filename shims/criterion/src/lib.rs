@@ -157,7 +157,11 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher { result: None };
         f(&mut b);
-        report(&format!("{}/{}", self.name, name), b.result, self.throughput);
+        report(
+            &format!("{}/{}", self.name, name),
+            b.result,
+            self.throughput,
+        );
         self
     }
 

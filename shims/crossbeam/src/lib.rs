@@ -109,11 +109,7 @@ pub mod channel {
                 if self.inner.senders.load(Ordering::SeqCst) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .inner
-                    .ready
-                    .wait(q)
-                    .unwrap_or_else(|e| e.into_inner());
+                q = self.inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         }
 
@@ -309,6 +305,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::never_loop)] // the select arms both exit; the loop mirrors real call sites
     fn select_observes_disconnect() {
         let (tx, rx) = channel::unbounded::<u32>();
         let (_tx_keep, rx_other) = channel::unbounded::<u32>();

@@ -102,8 +102,8 @@ pub mod strategy {
             let mut strat = leaf.clone();
             for _ in 0..depth {
                 // lean toward leaves so sizes stay moderate
-                strat = Union::weighted(vec![(2, leaf.clone()), (1, recurse(strat).boxed())])
-                    .boxed();
+                strat =
+                    Union::weighted(vec![(2, leaf.clone()), (1, recurse(strat).boxed())]).boxed();
             }
             strat
         }
@@ -581,7 +581,7 @@ pub mod option {
         type Value = Option<T>;
         fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
             // bias toward Some, like the real crate's default
-            if rng.next_u64() % 4 == 0 {
+            if rng.next_u64().is_multiple_of(4) {
                 None
             } else {
                 Some(self.0.gen_value(rng))
@@ -812,9 +812,11 @@ mod tests {
                 Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0i64..100).prop_map(Tree::Leaf).prop_recursive(3, 32, 4, |inner| {
-            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = (0i64..100)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 32, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
         let mut rng = crate::TestRng::from_seed(7);
         for _ in 0..200 {
             let t = strat.gen_value(&mut rng);

@@ -443,7 +443,7 @@ mod tests {
     fn scalars_round_trip() {
         assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
         assert_eq!(u128::from_value(&7u128.to_value()).unwrap(), 7);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hé".to_string().to_value()).unwrap(),
             "hé"
@@ -457,7 +457,10 @@ mod tests {
         let o: Option<String> = Some("x".into());
         assert_eq!(Option::<String>::from_value(&o.to_value()).unwrap(), o);
         let none: Option<String> = None;
-        assert_eq!(Option::<String>::from_value(&none.to_value()).unwrap(), none);
+        assert_eq!(
+            Option::<String>::from_value(&none.to_value()).unwrap(),
+            none
+        );
         let r: Result<Vec<u8>, String> = Err("boom".into());
         assert_eq!(
             Result::<Vec<u8>, String>::from_value(&r.to_value()).unwrap(),

@@ -26,8 +26,14 @@ struct Variant {
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Skip attributes (`#[...]`), visibility (`pub`, `pub(...)`) and doc
@@ -283,9 +289,9 @@ fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
         .map(|v| {
             let vname = &v.name;
             match &v.fields {
-                Fields::Unit => format!(
-                    "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
-                ),
+                Fields::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),")
+                }
                 Fields::Unnamed(1) => format!(
                     "{name}::{vname}(__f0) => ::serde::Value::Map(vec![\
                        (::serde::Value::Str(\"{vname}\".to_string()), \

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/autocontext_live-23d18926dc17f390.d: tests/tests/autocontext_live.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautocontext_live-23d18926dc17f390.rmeta: tests/tests/autocontext_live.rs Cargo.toml
+
+tests/tests/autocontext_live.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autocontext_live-9ea3ffd31ebd0a23.d: tests/tests/autocontext_live.rs
+
+/root/repo/target/debug/deps/autocontext_live-9ea3ffd31ebd0a23: tests/tests/autocontext_live.rs
+
+tests/tests/autocontext_live.rs:

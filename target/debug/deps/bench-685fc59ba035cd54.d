@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-685fc59ba035cd54.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-685fc59ba035cd54.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

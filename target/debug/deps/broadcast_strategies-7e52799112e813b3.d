@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broadcast_strategies-7e52799112e813b3.d: examples/broadcast_strategies.rs
+
+/root/repo/target/debug/deps/broadcast_strategies-7e52799112e813b3: examples/broadcast_strategies.rs
+
+examples/broadcast_strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broadcast_strategies-905a2ffa62d94acb.d: examples/broadcast_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroadcast_strategies-905a2ffa62d94acb.rmeta: examples/broadcast_strategies.rs Cargo.toml
+
+examples/broadcast_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

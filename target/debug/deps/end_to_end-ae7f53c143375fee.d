@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ae7f53c143375fee.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ae7f53c143375fee: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

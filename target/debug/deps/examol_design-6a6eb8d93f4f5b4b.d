@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/examol_design-6a6eb8d93f4f5b4b.d: examples/examol_design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexamol_design-6a6eb8d93f4f5b4b.rmeta: examples/examol_design.rs Cargo.toml
+
+examples/examol_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

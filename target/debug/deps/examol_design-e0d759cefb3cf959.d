@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/examol_design-e0d759cefb3cf959.d: examples/examol_design.rs
+
+/root/repo/target/debug/deps/examol_design-e0d759cefb3cf959: examples/examol_design.rs
+
+examples/examol_design.rs:

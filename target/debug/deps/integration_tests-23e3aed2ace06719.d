@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_tests-23e3aed2ace06719.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/integration_tests-23e3aed2ace06719: tests/src/lib.rs
+
+tests/src/lib.rs:

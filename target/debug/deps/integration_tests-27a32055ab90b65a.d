@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_tests-27a32055ab90b65a.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_tests-27a32055ab90b65a.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_tests-4a5b470d4d2d80e3.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-4a5b470d4d2d80e3.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-4a5b470d4d2d80e3.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

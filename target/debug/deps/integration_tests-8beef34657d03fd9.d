@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_tests-8beef34657d03fd9.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_tests-8beef34657d03fd9.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

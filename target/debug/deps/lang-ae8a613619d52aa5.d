@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lang-ae8a613619d52aa5.d: crates/bench/benches/lang.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblang-ae8a613619d52aa5.rmeta: crates/bench/benches/lang.rs Cargo.toml
+
+crates/bench/benches/lang.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

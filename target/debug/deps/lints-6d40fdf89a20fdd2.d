@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lints-6d40fdf89a20fdd2.d: crates/vine-lint/tests/lints.rs
+
+/root/repo/target/debug/deps/lints-6d40fdf89a20fdd2: crates/vine-lint/tests/lints.rs
+
+crates/vine-lint/tests/lints.rs:

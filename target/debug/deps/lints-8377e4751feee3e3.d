@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lints-8377e4751feee3e3.d: crates/vine-lint/tests/lints.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblints-8377e4751feee3e3.rmeta: crates/vine-lint/tests/lints.rs Cargo.toml
+
+crates/vine-lint/tests/lints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

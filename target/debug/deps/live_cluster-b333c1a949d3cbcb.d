@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_cluster-b333c1a949d3cbcb.d: crates/vine-runtime/tests/live_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_cluster-b333c1a949d3cbcb.rmeta: crates/vine-runtime/tests/live_cluster.rs Cargo.toml
+
+crates/vine-runtime/tests/live_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

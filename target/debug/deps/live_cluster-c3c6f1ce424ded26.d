@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_cluster-c3c6f1ce424ded26.d: crates/vine-runtime/tests/live_cluster.rs
+
+/root/repo/target/debug/deps/live_cluster-c3c6f1ce424ded26: crates/vine-runtime/tests/live_cluster.rs
+
+crates/vine-runtime/tests/live_cluster.rs:

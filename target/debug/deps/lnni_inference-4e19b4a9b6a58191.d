@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lnni_inference-4e19b4a9b6a58191.d: examples/lnni_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblnni_inference-4e19b4a9b6a58191.rmeta: examples/lnni_inference.rs Cargo.toml
+
+examples/lnni_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lnni_inference-52c9f027b28db491.d: examples/lnni_inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblnni_inference-52c9f027b28db491.rmeta: examples/lnni_inference.rs Cargo.toml
+
+examples/lnni_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

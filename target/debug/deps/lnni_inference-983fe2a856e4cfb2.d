@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lnni_inference-983fe2a856e4cfb2.d: examples/lnni_inference.rs
+
+/root/repo/target/debug/deps/lnni_inference-983fe2a856e4cfb2: examples/lnni_inference.rs
+
+examples/lnni_inference.rs:

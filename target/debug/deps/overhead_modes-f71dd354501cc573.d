@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_modes-f71dd354501cc573.d: crates/bench/benches/overhead_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_modes-f71dd354501cc573.rmeta: crates/bench/benches/overhead_modes.rs Cargo.toml
+
+crates/bench/benches/overhead_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preflight-10dd334620fd8bab.d: crates/vine-runtime/tests/preflight.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreflight-10dd334620fd8bab.rmeta: crates/vine-runtime/tests/preflight.rs Cargo.toml
+
+crates/vine-runtime/tests/preflight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

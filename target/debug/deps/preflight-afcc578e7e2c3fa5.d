@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preflight-afcc578e7e2c3fa5.d: crates/vine-runtime/tests/preflight.rs
+
+/root/repo/target/debug/deps/preflight-afcc578e7e2c3fa5: crates/vine-runtime/tests/preflight.rs
+
+crates/vine-runtime/tests/preflight.rs:

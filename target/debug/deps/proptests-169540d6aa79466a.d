@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-169540d6aa79466a.d: crates/vine-lang/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-169540d6aa79466a.rmeta: crates/vine-lang/tests/proptests.rs Cargo.toml
+
+crates/vine-lang/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

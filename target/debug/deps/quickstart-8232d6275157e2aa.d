@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-8232d6275157e2aa.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-8232d6275157e2aa.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-8b8170f59128477d.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-8b8170f59128477d: examples/quickstart.rs
+
+examples/quickstart.rs:

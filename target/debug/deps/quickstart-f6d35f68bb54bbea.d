@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-f6d35f68bb54bbea.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-f6d35f68bb54bbea.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-52af2da01d899f5c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-52af2da01d899f5c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5c505cfe125a42a3.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-5c505cfe125a42a3: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive_shim-0bdfa3f0d2afa1cb.d: shims/serde_derive_shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive_shim-0bdfa3f0d2afa1cb.rmeta: shims/serde_derive_shim/src/lib.rs Cargo.toml
+
+shims/serde_derive_shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

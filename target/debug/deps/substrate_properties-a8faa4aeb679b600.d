@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_properties-a8faa4aeb679b600.d: tests/tests/substrate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_properties-a8faa4aeb679b600.rmeta: tests/tests/substrate_properties.rs Cargo.toml
+
+tests/tests/substrate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-f313d7e4d9d91d0b.d: tests/tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-f313d7e4d9d91d0b: tests/tests/substrate_properties.rs
+
+tests/tests/substrate_properties.rs:

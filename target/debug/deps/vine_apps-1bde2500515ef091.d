@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vine_apps-1bde2500515ef091.d: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_apps-1bde2500515ef091.rmeta: crates/vine-apps/src/lib.rs crates/vine-apps/src/examol.rs crates/vine-apps/src/lnni.rs crates/vine-apps/src/modules.rs Cargo.toml
+
+crates/vine-apps/src/lib.rs:
+crates/vine-apps/src/examol.rs:
+crates/vine-apps/src/lnni.rs:
+crates/vine-apps/src/modules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

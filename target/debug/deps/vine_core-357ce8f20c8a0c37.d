@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vine_core-357ce8f20c8a0c37.d: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_core-357ce8f20c8a0c37.rmeta: crates/vine-core/src/lib.rs crates/vine-core/src/config.rs crates/vine-core/src/context.rs crates/vine-core/src/error.rs crates/vine-core/src/ids.rs crates/vine-core/src/resources.rs crates/vine-core/src/task.rs crates/vine-core/src/time.rs crates/vine-core/src/trace.rs Cargo.toml
+
+crates/vine-core/src/lib.rs:
+crates/vine-core/src/config.rs:
+crates/vine-core/src/context.rs:
+crates/vine-core/src/error.rs:
+crates/vine-core/src/ids.rs:
+crates/vine-core/src/resources.rs:
+crates/vine-core/src/task.rs:
+crates/vine-core/src/time.rs:
+crates/vine-core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

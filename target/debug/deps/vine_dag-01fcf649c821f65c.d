@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vine_dag-01fcf649c821f65c.d: crates/vine-dag/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_dag-01fcf649c821f65c.rmeta: crates/vine-dag/src/lib.rs Cargo.toml
+
+crates/vine-dag/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

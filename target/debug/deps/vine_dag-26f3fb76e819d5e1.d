@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vine_dag-26f3fb76e819d5e1.d: crates/vine-dag/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_dag-26f3fb76e819d5e1.rmeta: crates/vine-dag/src/lib.rs Cargo.toml
+
+crates/vine-dag/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

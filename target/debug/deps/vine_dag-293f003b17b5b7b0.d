@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vine_dag-293f003b17b5b7b0.d: crates/vine-dag/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_dag-293f003b17b5b7b0.rlib: crates/vine-dag/src/lib.rs
+
+/root/repo/target/debug/deps/libvine_dag-293f003b17b5b7b0.rmeta: crates/vine-dag/src/lib.rs
+
+crates/vine-dag/src/lib.rs:

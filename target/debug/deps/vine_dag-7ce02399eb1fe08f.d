@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vine_dag-7ce02399eb1fe08f.d: crates/vine-dag/src/lib.rs
+
+/root/repo/target/debug/deps/vine_dag-7ce02399eb1fe08f: crates/vine-dag/src/lib.rs
+
+crates/vine-dag/src/lib.rs:

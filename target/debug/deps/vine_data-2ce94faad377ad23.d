@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vine_data-2ce94faad377ad23.d: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_data-2ce94faad377ad23.rmeta: crates/vine-data/src/lib.rs crates/vine-data/src/cache.rs crates/vine-data/src/sharedfs.rs crates/vine-data/src/store.rs Cargo.toml
+
+crates/vine-data/src/lib.rs:
+crates/vine-data/src/cache.rs:
+crates/vine-data/src/sharedfs.rs:
+crates/vine-data/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

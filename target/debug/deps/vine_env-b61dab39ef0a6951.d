@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vine_env-b61dab39ef0a6951.d: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_env-b61dab39ef0a6951.rmeta: crates/vine-env/src/lib.rs crates/vine-env/src/archive.rs crates/vine-env/src/catalog.rs crates/vine-env/src/registry.rs crates/vine-env/src/resolve.rs Cargo.toml
+
+crates/vine-env/src/lib.rs:
+crates/vine-env/src/archive.rs:
+crates/vine-env/src/catalog.rs:
+crates/vine-env/src/registry.rs:
+crates/vine-env/src/resolve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

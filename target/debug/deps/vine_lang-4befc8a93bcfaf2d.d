@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/vine_lang-4befc8a93bcfaf2d.d: crates/vine-lang/src/lib.rs crates/vine-lang/src/ast.rs crates/vine-lang/src/autocontext.rs crates/vine-lang/src/builtins.rs crates/vine-lang/src/inspect.rs crates/vine-lang/src/interp.rs crates/vine-lang/src/lexer.rs crates/vine-lang/src/modules.rs crates/vine-lang/src/parser.rs crates/vine-lang/src/pickle.rs crates/vine-lang/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_lang-4befc8a93bcfaf2d.rmeta: crates/vine-lang/src/lib.rs crates/vine-lang/src/ast.rs crates/vine-lang/src/autocontext.rs crates/vine-lang/src/builtins.rs crates/vine-lang/src/inspect.rs crates/vine-lang/src/interp.rs crates/vine-lang/src/lexer.rs crates/vine-lang/src/modules.rs crates/vine-lang/src/parser.rs crates/vine-lang/src/pickle.rs crates/vine-lang/src/value.rs Cargo.toml
+
+crates/vine-lang/src/lib.rs:
+crates/vine-lang/src/ast.rs:
+crates/vine-lang/src/autocontext.rs:
+crates/vine-lang/src/builtins.rs:
+crates/vine-lang/src/inspect.rs:
+crates/vine-lang/src/interp.rs:
+crates/vine-lang/src/lexer.rs:
+crates/vine-lang/src/modules.rs:
+crates/vine-lang/src/parser.rs:
+crates/vine-lang/src/pickle.rs:
+crates/vine-lang/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

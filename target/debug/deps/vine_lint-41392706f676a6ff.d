@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vine_lint-41392706f676a6ff.d: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs
+
+/root/repo/target/debug/deps/libvine_lint-41392706f676a6ff.rlib: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs
+
+/root/repo/target/debug/deps/libvine_lint-41392706f676a6ff.rmeta: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs
+
+crates/vine-lint/src/lib.rs:
+crates/vine-lint/src/dag.rs:
+crates/vine-lint/src/diag.rs:
+crates/vine-lint/src/environment.rs:
+crates/vine-lint/src/language.rs:
+crates/vine-lint/src/placement.rs:

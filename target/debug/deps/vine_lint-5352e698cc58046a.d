@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vine_lint-5352e698cc58046a.d: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_lint-5352e698cc58046a.rmeta: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs Cargo.toml
+
+crates/vine-lint/src/lib.rs:
+crates/vine-lint/src/dag.rs:
+crates/vine-lint/src/diag.rs:
+crates/vine-lint/src/environment.rs:
+crates/vine-lint/src/language.rs:
+crates/vine-lint/src/placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

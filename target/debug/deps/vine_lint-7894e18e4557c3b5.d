@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vine_lint-7894e18e4557c3b5.d: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs
+
+/root/repo/target/debug/deps/vine_lint-7894e18e4557c3b5: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs
+
+crates/vine-lint/src/lib.rs:
+crates/vine-lint/src/dag.rs:
+crates/vine-lint/src/diag.rs:
+crates/vine-lint/src/environment.rs:
+crates/vine-lint/src/language.rs:
+crates/vine-lint/src/placement.rs:

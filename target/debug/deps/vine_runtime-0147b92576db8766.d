@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vine_runtime-0147b92576db8766.d: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_runtime-0147b92576db8766.rmeta: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs Cargo.toml
+
+crates/vine-runtime/src/lib.rs:
+crates/vine-runtime/src/library_host.rs:
+crates/vine-runtime/src/runtime.rs:
+crates/vine-runtime/src/worker_host.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vine_runtime-5ff5e4b769183b2f.d: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+/root/repo/target/debug/deps/vine_runtime-5ff5e4b769183b2f: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+crates/vine-runtime/src/lib.rs:
+crates/vine-runtime/src/library_host.rs:
+crates/vine-runtime/src/runtime.rs:
+crates/vine-runtime/src/worker_host.rs:

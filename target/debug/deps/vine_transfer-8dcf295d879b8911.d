@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vine_transfer-8dcf295d879b8911.d: crates/vine-transfer/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_transfer-8dcf295d879b8911.rmeta: crates/vine-transfer/src/lib.rs Cargo.toml
+
+crates/vine-transfer/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vine_worker-e8bdd532337b22ef.d: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvine_worker-e8bdd532337b22ef.rmeta: crates/vine-worker/src/lib.rs crates/vine-worker/src/library.rs crates/vine-worker/src/protocol.rs crates/vine-worker/src/sandbox.rs crates/vine-worker/src/state.rs Cargo.toml
+
+crates/vine-worker/src/lib.rs:
+crates/vine-worker/src/library.rs:
+crates/vine-worker/src/protocol.rs:
+crates/vine-worker/src/sandbox.rs:
+crates/vine-worker/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/broadcast_strategies-ce607a149c445b9a.d: examples/broadcast_strategies.rs
+
+/root/repo/target/release/deps/broadcast_strategies-ce607a149c445b9a: examples/broadcast_strategies.rs
+
+examples/broadcast_strategies.rs:

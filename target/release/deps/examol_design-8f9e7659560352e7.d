@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/examol_design-8f9e7659560352e7.d: examples/examol_design.rs
+
+/root/repo/target/release/deps/examol_design-8f9e7659560352e7: examples/examol_design.rs
+
+examples/examol_design.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration_tests-642c1cf23bd2b90a.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-642c1cf23bd2b90a.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-642c1cf23bd2b90a.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

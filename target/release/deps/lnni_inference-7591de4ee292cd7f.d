@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lnni_inference-7591de4ee292cd7f.d: examples/lnni_inference.rs
+
+/root/repo/target/release/deps/lnni_inference-7591de4ee292cd7f: examples/lnni_inference.rs
+
+examples/lnni_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-a71f3b1d9a447c41.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-a71f3b1d9a447c41: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-5214995464947ecc.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-5214995464947ecc: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

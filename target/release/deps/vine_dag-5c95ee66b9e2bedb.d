@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vine_dag-5c95ee66b9e2bedb.d: crates/vine-dag/src/lib.rs
+
+/root/repo/target/release/deps/libvine_dag-5c95ee66b9e2bedb.rlib: crates/vine-dag/src/lib.rs
+
+/root/repo/target/release/deps/libvine_dag-5c95ee66b9e2bedb.rmeta: crates/vine-dag/src/lib.rs
+
+crates/vine-dag/src/lib.rs:

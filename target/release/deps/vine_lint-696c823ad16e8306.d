@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vine_lint-696c823ad16e8306.d: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs
+
+/root/repo/target/release/deps/libvine_lint-696c823ad16e8306.rlib: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs
+
+/root/repo/target/release/deps/libvine_lint-696c823ad16e8306.rmeta: crates/vine-lint/src/lib.rs crates/vine-lint/src/dag.rs crates/vine-lint/src/diag.rs crates/vine-lint/src/environment.rs crates/vine-lint/src/language.rs crates/vine-lint/src/placement.rs
+
+crates/vine-lint/src/lib.rs:
+crates/vine-lint/src/dag.rs:
+crates/vine-lint/src/diag.rs:
+crates/vine-lint/src/environment.rs:
+crates/vine-lint/src/language.rs:
+crates/vine-lint/src/placement.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vine_runtime-595884add94073fe.d: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+/root/repo/target/release/deps/libvine_runtime-595884add94073fe.rlib: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+/root/repo/target/release/deps/libvine_runtime-595884add94073fe.rmeta: crates/vine-runtime/src/lib.rs crates/vine-runtime/src/library_host.rs crates/vine-runtime/src/runtime.rs crates/vine-runtime/src/worker_host.rs
+
+crates/vine-runtime/src/lib.rs:
+crates/vine-runtime/src/library_host.rs:
+crates/vine-runtime/src/runtime.rs:
+crates/vine-runtime/src/worker_host.rs:

@@ -19,8 +19,7 @@ fn discover_package_execute_pipeline() {
 
     // element 1: function code via inspection
     let infer_src = inspect::extract_source(app_src, "infer").expect("source form exists");
-    let setup_src =
-        inspect::extract_source(app_src, "context_setup").expect("setup has source");
+    let setup_src = inspect::extract_source(app_src, "context_setup").expect("setup has source");
 
     // element 2: dependencies via AST scan + resolution + packaging
     let prog = vine_lang::parse(app_src).unwrap();

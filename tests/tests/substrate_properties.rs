@@ -13,10 +13,7 @@ use vine_transfer::{plan_broadcast, Node, Topology};
 /// packages with larger indices (guaranteed DAG).
 fn arb_registry() -> impl Strategy<Value = (PackageRegistry, usize)> {
     (2usize..30).prop_flat_map(|n| {
-        let deps = prop::collection::vec(
-            prop::collection::vec(0usize..100, 0..4),
-            n,
-        );
+        let deps = prop::collection::vec(prop::collection::vec(0usize..100, 0..4), n);
         deps.prop_map(move |dep_lists| {
             let mut reg = PackageRegistry::new();
             for (i, raw) in dep_lists.iter().enumerate() {
