@@ -2,13 +2,22 @@
 //! workflow programs.
 //!
 //! ```text
-//! repro all [--scale 0.05] [--json]
+//! repro all [--scale 0.05] [--json] [--jobs N]
 //! repro fig6a table4 ...
+//! repro perf [--sim]
 //! repro lint [file.vine ...]
 //! repro --list
 //! ```
+//!
+//! `--jobs N` caps the worker threads used to fan out independent
+//! simulation cells (and independent experiments); the default is the
+//! machine's available parallelism. Every cell is a pure function of its
+//! config and seed and results are collected into pre-sized, input-ordered
+//! slots, so output is byte-identical at any `--jobs` value — `--jobs 1`
+//! runs the exact sequential path (CI byte-compares the two).
 
 use bench::experiments;
+use rayon::prelude::*;
 use std::collections::BTreeSet;
 
 /// `repro lint [paths...]` — run the vine-lint language + environment
@@ -80,6 +89,8 @@ fn main() {
     }
     let mut scale = 1.0f64;
     let mut json = false;
+    let mut jobs = 0usize; // 0 = available parallelism
+    let mut sim = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -94,7 +105,18 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|j| *j >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs expects an integer >= 1");
+                        std::process::exit(2);
+                    });
+            }
             "--json" => json = true,
+            "--sim" => sim = true,
             "--list" => {
                 for id in experiments::IDS {
                     println!("{id}");
@@ -103,10 +125,13 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all | <id>...] [--scale S] [--json]\n\
+                    "usage: repro [all | <id>...] [--scale S] [--json] [--jobs N]\n\
                      \x20      repro lint [file.vine ...]\n\
                      experiments: {}\n\
-                     extra: perf (scheduler self-benchmark, writes BENCH_sched.json)",
+                     extra: perf (scheduler self-benchmark, writes BENCH_sched.json)\n\
+                     \x20      perf --sim (simulator event-core self-benchmark, writes BENCH_sim.json)\n\
+                     --jobs N: worker threads for independent simulation cells\n\
+                     \x20         (default: available parallelism; output is identical at any N)",
                     experiments::IDS.join(", ")
                 );
                 return;
@@ -117,21 +142,39 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::IDS.iter().map(|s| s.to_string()).collect();
     }
+    if sim {
+        for id in &mut ids {
+            if id == "perf" {
+                *id = "perf_sim".to_string();
+            }
+        }
+    }
+    for id in &ids {
+        let known = experiments::IDS.contains(&id.as_str()) || id == "perf" || id == "perf_sim";
+        if !known {
+            eprintln!("unknown experiment '{id}' (try --list)");
+            std::process::exit(2);
+        }
+    }
+
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(jobs)
+        .build_global()
+        .expect("thread pool setup");
 
     eprintln!("# vine-rs reproduction at scale {scale}");
-    for id in &ids {
-        match experiments::by_id(id, scale) {
-            Some(table) => {
-                if json {
-                    println!("{}", table.to_json());
-                } else {
-                    table.print();
-                }
-            }
-            None => {
-                eprintln!("unknown experiment '{id}' (try --list)");
-                std::process::exit(2);
-            }
+    // fan the experiments out too (each also fans out its own cells);
+    // results land in input-ordered slots and print sequentially below
+    let tables: Vec<_> = ids
+        .clone()
+        .into_par_iter()
+        .map(|id| experiments::by_id(&id, scale).expect("id validated above"))
+        .collect();
+    for table in &tables {
+        if json {
+            println!("{}", table.to_json());
+        } else {
+            table.print();
         }
     }
 }

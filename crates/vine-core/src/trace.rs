@@ -83,7 +83,11 @@ pub struct LibraryRecord {
 }
 
 /// A complete run's telemetry.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` exists for differential testing: the simulator's dense-layout
+/// driver is held bit-identical to the retained reference driver
+/// (`vine_sim::reference`) by comparing whole traces.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     pub invocations: Vec<InvocationRecord>,
     pub libraries: Vec<LibraryRecord>,

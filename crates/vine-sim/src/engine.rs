@@ -11,7 +11,7 @@
 //! per-packet simulation.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 use vine_core::{SimDuration, SimTime};
 
 /// A scheduled event: time-ordered, FIFO within the same instant.
@@ -127,13 +127,23 @@ struct Flow {
 /// than O(1) advance: a pool's flow count is bounded by one device's
 /// concurrency, so the eager loop is short, while the decision-path
 /// indexes (see `vine-manager`) carry the asymptotic load.
+///
+/// Flows live in a `Vec` kept sorted ascending by [`FlowId`] — ids are
+/// assigned from a global monotone counter, so the sort order is dispatch
+/// order, exactly what the old `BTreeMap` keying produced. The dense
+/// layout turns every advance into a linear walk over contiguous memory,
+/// [`FluidPool::take_completed`] into one in-order `retain` pass (the
+/// `BTreeMap` version collected completed ids and then removed them one
+/// lookup each), and insertion into a binary-search `Vec::insert` (cheap:
+/// a pool's flow set is bounded by one device's concurrency).
 #[derive(Debug)]
 pub struct FluidPool {
     /// Aggregate capacity (bytes/s, ops/s, ...).
     capacity: f64,
     /// Per-flow ceiling (e.g. one client's NIC when reading a shared FS).
     per_flow_cap: f64,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Active flows, sorted ascending by id.
+    flows: Vec<(FlowId, Flow)>,
     last_advance: SimTime,
     /// Bumped on every flow-set change; completion events carry the epoch
     /// they were computed under and are ignored if stale.
@@ -152,7 +162,7 @@ impl FluidPool {
         FluidPool {
             capacity: capacity.max(1e-9),
             per_flow_cap: per_flow_cap.max(1e-9),
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
             last_advance: SimTime::ZERO,
             epoch: 0,
         }
@@ -174,7 +184,7 @@ impl FluidPool {
         let dt = now.since(self.last_advance).as_secs_f64();
         if dt > 0.0 && !self.flows.is_empty() {
             let done = self.rate() * dt;
-            for f in self.flows.values_mut() {
+            for (_, f) in self.flows.iter_mut() {
                 f.remaining = (f.remaining - done).max(0.0);
             }
         }
@@ -192,30 +202,31 @@ impl FluidPool {
     pub fn add(&mut self, now: SimTime, id: FlowId, amount: f64) {
         self.advance(now);
         self.epoch += 1;
-        self.flows.insert(
-            id,
-            Flow {
-                remaining: amount.max(0.0),
-                amount: amount.max(0.0),
-            },
-        );
+        let flow = Flow {
+            remaining: amount.max(0.0),
+            amount: amount.max(0.0),
+        };
+        match self.flows.binary_search_by_key(&id, |(fid, _)| *fid) {
+            Ok(i) => self.flows[i] = (id, flow),
+            Err(i) => self.flows.insert(i, (id, flow)),
+        }
     }
 
     /// Remove and return flows that have completed as of `now`, ascending
-    /// by id.
+    /// by id — one in-order pass over the (sorted) flow set.
     pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
         self.advance(now);
-        let done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining <= Self::eps(f.amount))
-            .map(|(id, _)| *id)
-            .collect();
+        let mut done = Vec::new();
+        self.flows.retain(|(id, f)| {
+            if f.remaining <= Self::eps(f.amount) {
+                done.push(*id);
+                false
+            } else {
+                true
+            }
+        });
         if !done.is_empty() {
             self.epoch += 1;
-            for id in &done {
-                self.flows.remove(id);
-            }
         }
         done
     }
@@ -223,20 +234,24 @@ impl FluidPool {
     /// Forcibly remove a flow (fault injection: its worker died).
     pub fn cancel(&mut self, now: SimTime, id: FlowId) -> bool {
         self.advance(now);
-        let existed = self.flows.remove(&id).is_some();
-        if existed {
-            self.epoch += 1;
+        match self.flows.binary_search_by_key(&id, |(fid, _)| *fid) {
+            Ok(i) => {
+                self.flows.remove(i);
+                self.epoch += 1;
+                true
+            }
+            Err(_) => false,
         }
-        existed
     }
 
     /// Earliest time any current flow completes, given the current flow
-    /// set. `None` if idle.
+    /// set. `None` if idle. One pass; `f64::min` is order-insensitive, so
+    /// the fold matches the old map-ordered version bit for bit.
     pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
         let min_remaining = self
             .flows
-            .values()
-            .map(|f| f.remaining)
+            .iter()
+            .map(|(_, f)| f.remaining)
             .fold(f64::INFINITY, f64::min);
         if min_remaining.is_infinite() {
             return None;

@@ -20,7 +20,9 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod reference;
 pub mod run;
 
 pub use cluster::{assign_gflops, paper_groups, MachineGroup};
+pub use reference::simulate_reference;
 pub use run::{simulate, SimConfig, SimResult, Workload};

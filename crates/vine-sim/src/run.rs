@@ -1,4 +1,27 @@
 //! The simulation driver: manager decisions → timed pipelines → trace.
+//!
+//! ## Event-core data layout
+//!
+//! Every event the loop pops touches driver state, so lookups on the event
+//! path are laid out dense (see DESIGN.md §7):
+//!
+//! * jobs live in a **slab** ([`JobSlab`]) — a `Vec` of slots plus a
+//!   free-list — addressed by a packed [`JobId`] whose low bits are the
+//!   slot (O(1) access) and whose high bits are a monotone dispatch
+//!   sequence number (staleness check for reused slots, and the exact
+//!   ordering the old `BTreeMap<u64, Job>` keys gave);
+//! * fluid pools live in a **dense `Vec`** addressed by [`PoolId`]: three
+//!   fixed slots (shared-FS bandwidth, shared-FS IOPS, manager uplink)
+//!   followed by one disk and one uplink slot per worker;
+//! * each job's in-flight flow is a field on the job itself
+//!   (`Job::active_flow`) instead of a side `BTreeMap`;
+//! * a per-worker job index makes `fail_worker` O(jobs on that worker)
+//!   instead of a scan over every live job.
+//!
+//! The layout change is *only* a layout change: event times, float
+//! arithmetic, and processing order are bit-identical to the retained
+//! pre-overhaul driver in [`crate::reference`], which differential tests
+//! and the `repro perf --sim` benchmark hold it to.
 
 use crate::cluster::{assign_gflops, paper_groups, MachineGroup};
 use crate::engine::{EventQueue, FluidPool};
@@ -7,7 +30,7 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, VecDeque};
 use vine_core::config::{CostModel, ReuseLevel};
 use vine_core::context::{FileSource, LibrarySpec};
-use vine_core::ids::{ContentHash, InvocationId, LibraryInstanceId, WorkerId};
+use vine_core::ids::{InvocationId, LibraryInstanceId, WorkerId};
 use vine_core::resources::Resources;
 use vine_core::task::{UnitId, WorkProfile, WorkUnit};
 use vine_core::time::{SimDuration, SimTime};
@@ -89,23 +112,108 @@ pub struct SimResult {
     /// Application execution time (end − app_start), also in
     /// `trace.makespan`.
     pub makespan: SimDuration,
+    /// Discrete events processed — the denominator of the sim-core
+    /// benchmark's events/sec, and a cheap whole-run fingerprint for
+    /// differential tests (identical schedules pop identical counts).
+    pub events: u64,
 }
 
 // ---- internal machinery ----
 
+/// Index of a fluid pool in the driver's dense pool vector.
+///
+/// Layout: `[SharedBw, SharedIops, ManagerUplink, disk(w0..wN), uplink(w0..wN)]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PoolId(u32);
+
+const POOL_SHARED_BW: PoolId = PoolId(0);
+const POOL_SHARED_IOPS: PoolId = PoolId(1);
+const POOL_MANAGER_UPLINK: PoolId = PoolId(2);
+/// First per-worker slot.
+const POOL_FIXED_SLOTS: u32 = 3;
+
+/// Packed job handle: a monotone dispatch sequence number in the high bits,
+/// the slab slot in the low bits.
+///
+/// The sequence number serves three purposes at once:
+///
+/// * **ordering** — `JobId`s (and the flow ids derived from them) compare
+///   exactly like the old monotone `u64` job counter, because the sequence
+///   occupies the high bits and is unique per job; a fluid pool's
+///   "completed flows ascending by id" therefore still means "ascending by
+///   dispatch order", which pins event ordering bit-for-bit;
+/// * **staleness** — a `JobStep` event for a job whose slot has been freed
+///   and reused (worker failure cancelled it) no longer matches the slot's
+///   current occupant, exactly as a `BTreeMap` lookup of a removed key
+///   found nothing;
+/// * **slot addressing** — the low bits index the slab directly, O(1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum PoolKey {
-    SharedBw,
-    SharedIops,
-    Disk(WorkerId),
-    /// Outbound link; 0 = manager, w+1 = worker w.
-    Uplink(u32),
+struct JobId(u64);
+
+/// 22 bits of slot → up to ~4M concurrent jobs, leaving 42 bits of
+/// sequence → ~4×10¹² jobs per run.
+const JOB_SLOT_BITS: u32 = 22;
+const JOB_SLOT_MASK: u64 = (1 << JOB_SLOT_BITS) - 1;
+
+impl JobId {
+    fn new(seq: u64, slot: u32) -> JobId {
+        debug_assert!(u64::from(slot) <= JOB_SLOT_MASK, "slab slot overflow");
+        debug_assert!(seq < (1 << (64 - JOB_SLOT_BITS)), "job sequence overflow");
+        JobId((seq << JOB_SLOT_BITS) | u64::from(slot))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & JOB_SLOT_MASK) as usize
+    }
+
+    /// The id used as this job's [`crate::engine::FlowId`] in fluid pools.
+    fn flow(self) -> u64 {
+        self.0
+    }
 }
 
-fn uplink_of_worker(w: WorkerId) -> PoolKey {
-    PoolKey::Uplink(w.0 + 1)
+/// Slab of live jobs: free-list `Vec`, O(1) insert/lookup/remove, no
+/// per-job allocation once the high-water mark is reached.
+#[derive(Debug, Default)]
+struct JobSlab {
+    slots: Vec<Option<Job>>,
+    free: Vec<u32>,
+    next_seq: u64,
 }
-const MANAGER_UPLINK: PoolKey = PoolKey::Uplink(0);
+
+impl JobSlab {
+    fn insert(&mut self, mut job: Job) -> JobId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let id = JobId::new(self.next_seq, slot);
+        self.next_seq += 1;
+        job.id = id;
+        self.slots[slot as usize] = Some(job);
+        id
+    }
+
+    fn get_mut(&mut self, id: JobId) -> Option<&mut Job> {
+        self.slots
+            .get_mut(id.slot())
+            .and_then(|s| s.as_mut())
+            .filter(|j| j.id == id)
+    }
+
+    fn remove(&mut self, id: JobId) -> Option<Job> {
+        let slot = self.slots.get_mut(id.slot())?;
+        if slot.as_ref().is_some_and(|j| j.id == id) {
+            self.free.push(id.slot() as u32);
+            slot.take()
+        } else {
+            None
+        }
+    }
+}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
@@ -115,13 +223,13 @@ enum Phase {
     Exec,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum StepKind {
     Fixed(SimDuration),
-    Flow { pool: PoolKey, amount: f64 },
+    Flow { pool: PoolId, amount: f64 },
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Step {
     kind: StepKind,
     phase: Phase,
@@ -146,10 +254,16 @@ enum JobKind {
 
 #[derive(Debug)]
 struct Job {
+    /// Own packed id; also the staleness generation for slot reuse.
+    id: JobId,
     kind: JobKind,
     worker: WorkerId,
+    /// Position in `Driver::worker_jobs[worker]`, maintained on removal.
+    worker_slot: u32,
     steps: VecDeque<Step>,
     current: Option<Step>,
+    /// Pool of the in-flight flow step, if any (was a side `BTreeMap`).
+    active_flow: Option<PoolId>,
     step_started: SimTime,
     dispatched: SimTime,
     phases: PhaseBreakdown,
@@ -161,22 +275,27 @@ enum Ev {
     WorkerConnect(WorkerId),
     WorkerFail(WorkerId),
     MgrWake,
-    PoolCheck { key: PoolKey, epoch: u64 },
-    JobStep { job: u64 },
+    PoolCheck { pool: PoolId, epoch: u64 },
+    JobStep { job: JobId },
 }
 
 struct Driver<'w> {
     cfg: SimConfig,
     q: EventQueue<Ev>,
-    pools: BTreeMap<PoolKey, FluidPool>,
+    /// Dense pool storage; see [`PoolId`] for the layout.
+    pools: Vec<FluidPool>,
     mgr: Manager,
-    jobs: BTreeMap<u64, Job>,
-    next_job: u64,
+    jobs: JobSlab,
+    /// Live jobs per worker, for O(jobs-on-worker) failure handling.
+    worker_jobs: Vec<Vec<JobId>>,
     gflops: Vec<f64>,
     rng: ChaCha8Rng,
     trace: Trace,
     lib_records: BTreeMap<LibraryInstanceId, usize>,
     setup_profiles: BTreeMap<String, WorkProfile>,
+    /// Submit time of each *pending or in-flight* unit: entries are removed
+    /// when a unit finishes or fails (requeues keep theirs), so long
+    /// resubmission loops don't grow this map forever.
     submit_times: BTreeMap<UnitId, SimTime>,
     mgr_free_at: SimTime,
     mgr_wake_at: Option<SimTime>,
@@ -184,9 +303,8 @@ struct Driver<'w> {
     connected: usize,
     end: SimTime,
     failed_units: u64,
+    events: u64,
     workload: &'w mut dyn Workload,
-    /// (job, pool) of each job's active flow, for cancellation.
-    active_flows: BTreeMap<u64, PoolKey>,
 }
 
 /// Run a workload to completion.
@@ -200,40 +318,33 @@ pub fn simulate(cfg: SimConfig, workload: &mut dyn Workload) -> SimResult {
 
     let gflops = assign_gflops(&cfg.groups, cfg.workers, cfg.seed);
 
-    let mut pools = BTreeMap::new();
+    // dense pool vector: fixed slots, then per-worker disks, then uplinks
     let c = &cfg.cost;
-    pools.insert(
-        PoolKey::SharedBw,
-        FluidPool::new(c.sharedfs_bytes_per_sec, c.sharedfs_client_bytes_per_sec),
-    );
-    pools.insert(
-        PoolKey::SharedIops,
-        FluidPool::new(c.sharedfs_iops, c.sharedfs_client_iops),
-    );
+    let mut pools = Vec::with_capacity(POOL_FIXED_SLOTS as usize + 2 * cfg.workers);
+    pools.push(FluidPool::new(
+        c.sharedfs_bytes_per_sec,
+        c.sharedfs_client_bytes_per_sec,
+    ));
+    pools.push(FluidPool::new(c.sharedfs_iops, c.sharedfs_client_iops));
     let mgr_link = if cfg.colocated {
         c.loopback_bytes_per_sec
     } else {
         c.nic_bytes_per_sec
     };
-    pools.insert(MANAGER_UPLINK, FluidPool::new(mgr_link, mgr_link));
-    for w in 0..cfg.workers {
-        let wid = WorkerId(w as u32);
-        pools.insert(
-            PoolKey::Disk(wid),
-            FluidPool::new(c.disk_bytes_per_sec, c.disk_bytes_per_sec),
-        );
-        pools.insert(
-            uplink_of_worker(wid),
-            FluidPool::new(c.nic_bytes_per_sec, c.nic_bytes_per_sec),
-        );
+    pools.push(FluidPool::new(mgr_link, mgr_link));
+    for _ in 0..cfg.workers {
+        pools.push(FluidPool::new(c.disk_bytes_per_sec, c.disk_bytes_per_sec));
+    }
+    for _ in 0..cfg.workers {
+        pools.push(FluidPool::new(c.nic_bytes_per_sec, c.nic_bytes_per_sec));
     }
 
     let mut driver = Driver {
         q: EventQueue::new(),
         pools,
         mgr,
-        jobs: BTreeMap::new(),
-        next_job: 0,
+        jobs: JobSlab::default(),
+        worker_jobs: vec![Vec::new(); cfg.workers],
         gflops,
         rng: ChaCha8Rng::seed_from_u64(cfg.seed),
         trace: Trace::default(),
@@ -246,14 +357,22 @@ pub fn simulate(cfg: SimConfig, workload: &mut dyn Workload) -> SimResult {
         connected: 0,
         end: SimTime::ZERO,
         failed_units: 0,
+        events: 0,
         workload,
-        active_flows: BTreeMap::new(),
         cfg,
     };
     driver.run()
 }
 
 impl<'w> Driver<'w> {
+    fn disk_pool(&self, w: WorkerId) -> PoolId {
+        PoolId(POOL_FIXED_SLOTS + w.0)
+    }
+
+    fn uplink_pool(&self, w: WorkerId) -> PoolId {
+        PoolId(POOL_FIXED_SLOTS + self.cfg.workers as u32 + w.0)
+    }
+
     fn run(&mut self) -> SimResult {
         // workers begin connecting at t=0; startup ≈ 20 s each (Table 2)
         for w in 0..self.cfg.workers {
@@ -273,6 +392,7 @@ impl<'w> Driver<'w> {
         }
 
         while let Some((t, ev)) = self.q.pop() {
+            self.events += 1;
             match ev {
                 Ev::WorkerConnect(w) => {
                     self.mgr.worker_joined(w, self.cfg.worker_resources);
@@ -288,17 +408,20 @@ impl<'w> Driver<'w> {
                     self.mgr_wake_at = None;
                     self.mgr_step(t);
                 }
-                Ev::PoolCheck { key, epoch } => {
-                    let pool = self.pools.get_mut(&key).expect("pool exists");
-                    if pool.epoch != epoch {
+                Ev::PoolCheck { pool, epoch } => {
+                    let p = &mut self.pools[pool.0 as usize];
+                    if p.epoch != epoch {
                         continue; // stale
                     }
-                    let done = pool.take_completed(t);
-                    for job in done {
-                        self.active_flows.remove(&job);
-                        self.job_step_done(t, job);
+                    let done = p.take_completed(t);
+                    for flow in done {
+                        let job_id = JobId(flow);
+                        if let Some(job) = self.jobs.get_mut(job_id) {
+                            job.active_flow = None;
+                        }
+                        self.job_step_done(t, job_id);
                     }
-                    self.touch_pool(key, t);
+                    self.touch_pool(pool, t);
                 }
                 Ev::JobStep { job } => self.job_step_done(t, job),
             }
@@ -313,6 +436,7 @@ impl<'w> Driver<'w> {
             end: self.end,
             failed_units: self.failed_units,
             makespan,
+            events: self.events,
         }
     }
 
@@ -393,6 +517,7 @@ impl<'w> Driver<'w> {
         match d {
             Decision::Fail { unit, error: _ } => {
                 self.failed_units += 1;
+                self.submit_times.remove(&unit);
                 let more = self.workload.on_complete(unit, false);
                 for u in more {
                     self.submit_unit(u, start);
@@ -438,14 +563,17 @@ impl<'w> Driver<'w> {
                 self.start_job(
                     start,
                     Job {
+                        id: JobId(0), // assigned by the slab
                         kind: JobKind::Call {
                             id: call.id,
                             library,
                             submitted,
                         },
                         worker,
+                        worker_slot: 0,
                         steps,
                         current: None,
+                        active_flow: None,
                         step_started: start,
                         dispatched: start,
                         phases: PhaseBreakdown::default(),
@@ -497,7 +625,7 @@ impl<'w> Driver<'w> {
                     if task.profile.sharedfs_ops > 0.0 {
                         steps.push_back(Step {
                             kind: StepKind::Flow {
-                                pool: PoolKey::SharedIops,
+                                pool: POOL_SHARED_IOPS,
                                 amount: task.profile.sharedfs_ops,
                             },
                             phase: Phase::Worker,
@@ -507,7 +635,7 @@ impl<'w> Driver<'w> {
                     if bytes > 0 {
                         steps.push_back(Step {
                             kind: StepKind::Flow {
-                                pool: PoolKey::SharedBw,
+                                pool: POOL_SHARED_BW,
                                 amount: bytes as f64,
                             },
                             phase: Phase::Worker,
@@ -534,7 +662,7 @@ impl<'w> Driver<'w> {
                 if !l1_style && task.profile.context_read_bytes > 0 {
                     steps.push_back(Step {
                         kind: StepKind::Flow {
-                            pool: PoolKey::Disk(worker),
+                            pool: self.disk_pool(worker),
                             amount: task.profile.context_read_bytes as f64,
                         },
                         phase: Phase::Exec,
@@ -563,13 +691,16 @@ impl<'w> Driver<'w> {
                 self.start_job(
                     start,
                     Job {
+                        id: JobId(0), // assigned by the slab
                         kind: JobKind::Task {
                             id: task.id,
                             submitted,
                         },
                         worker,
+                        worker_slot: 0,
                         steps,
                         current: None,
+                        active_flow: None,
                         step_started: start,
                         dispatched: start,
                         phases: PhaseBreakdown::default(),
@@ -621,7 +752,7 @@ impl<'w> Driver<'w> {
                 if profile.context_read_bytes > 0 {
                     steps.push_back(Step {
                         kind: StepKind::Flow {
-                            pool: PoolKey::Disk(worker),
+                            pool: self.disk_pool(worker),
                             amount: profile.context_read_bytes as f64,
                         },
                         phase: Phase::Library,
@@ -645,13 +776,16 @@ impl<'w> Driver<'w> {
                 self.start_job(
                     start,
                     Job {
+                        id: JobId(0), // assigned by the slab
                         kind: JobKind::Install {
                             instance,
                             library_name: spec.name.clone(),
                         },
                         worker,
+                        worker_slot: 0,
                         steps,
                         current: None,
+                        active_flow: None,
                         step_started: start,
                         dispatched: start,
                         phases: PhaseBreakdown::default(),
@@ -670,24 +804,23 @@ impl<'w> Driver<'w> {
     /// only workers caching the first file are walked (ascending id, the same
     /// order the old full-cluster scan visited them, so the strict-less
     /// tie-break picks an identical winner), and each is verified against the
-    /// remaining hashes.
-    fn pick_source(&self, dest: WorkerId, missing: &[vine_core::context::FileRef]) -> PoolKey {
+    /// remaining hashes — straight off the `FileRef`s, no scratch allocation.
+    fn pick_source(&self, dest: WorkerId, missing: &[vine_core::context::FileRef]) -> PoolId {
         if !self.cfg.peer_transfer {
-            return MANAGER_UPLINK;
+            return POOL_MANAGER_UPLINK;
         }
-        let hashes: Vec<ContentHash> = missing.iter().map(|f| f.hash).collect();
-        let Some((first, rest)) = hashes.split_first() else {
-            return MANAGER_UPLINK;
+        let Some((first, rest)) = missing.split_first() else {
+            return POOL_MANAGER_UPLINK;
         };
-        let mut best: Option<(usize, PoolKey)> = None;
-        for wid in self.mgr.holders_of(*first) {
+        let mut best: Option<(usize, PoolId)> = None;
+        for wid in self.mgr.holders_of(first.hash) {
             if wid == dest {
                 continue;
             }
             let ws = &self.mgr.workers[&wid];
-            if rest.iter().all(|h| ws.cache.contains(*h)) {
-                let key = uplink_of_worker(wid);
-                let load = self.pools[&key].active();
+            if rest.iter().all(|f| ws.cache.contains(f.hash)) {
+                let key = self.uplink_pool(wid);
+                let load = self.pools[key.0 as usize].active();
                 if best.is_none_or(|(l, _)| load < l) {
                     best = Some((load, key));
                 }
@@ -696,8 +829,12 @@ impl<'w> Driver<'w> {
         match best {
             // only offload to a peer that isn't already saturated worse
             // than the manager
-            Some((load, key)) if load <= self.pools[&MANAGER_UPLINK].active() + 2 => key,
-            _ => MANAGER_UPLINK,
+            Some((load, key))
+                if load <= self.pools[POOL_MANAGER_UPLINK.0 as usize].active() + 2 =>
+            {
+                key
+            }
+            _ => POOL_MANAGER_UPLINK,
         }
     }
 
@@ -736,15 +873,35 @@ impl<'w> Driver<'w> {
         SimDuration::from_secs_f64(base * contention * jitter + stall)
     }
 
-    fn start_job(&mut self, t: SimTime, job: Job) {
-        let id = self.next_job;
-        self.next_job += 1;
-        self.jobs.insert(id, job);
+    fn start_job(&mut self, t: SimTime, mut job: Job) {
+        let w = job.worker.0 as usize;
+        job.worker_slot = self.worker_jobs[w].len() as u32;
+        let id = self.jobs.insert(job);
+        self.worker_jobs[w].push(id);
         self.begin_next_step(t, id);
     }
 
-    fn begin_next_step(&mut self, t: SimTime, job_id: u64) {
-        let Some(job) = self.jobs.get_mut(&job_id) else {
+    /// Remove a finished job, unlinking it from its worker's job index.
+    /// The index is patched by swap-remove; `fail_worker` takes a worker's
+    /// whole list at once, in which case the positional guard skips the
+    /// (already-empty) list.
+    fn remove_job(&mut self, id: JobId) -> Option<Job> {
+        let job = self.jobs.remove(id)?;
+        let list = &mut self.worker_jobs[job.worker.0 as usize];
+        let pos = job.worker_slot as usize;
+        if pos < list.len() && list[pos] == id {
+            list.swap_remove(pos);
+            if let Some(&moved) = list.get(pos) {
+                if let Some(mj) = self.jobs.get_mut(moved) {
+                    mj.worker_slot = pos as u32;
+                }
+            }
+        }
+        Some(job)
+    }
+
+    fn begin_next_step(&mut self, t: SimTime, job_id: JobId) {
+        let Some(job) = self.jobs.get_mut(job_id) else {
             return;
         };
         job.step_started = t;
@@ -754,14 +911,14 @@ impl<'w> Driver<'w> {
                 self.finish_job(t, job_id);
             }
             Some(step) => {
-                let kind = step.kind.clone();
                 job.current = Some(step);
-                match kind {
+                if let StepKind::Flow { pool, .. } = step.kind {
+                    job.active_flow = Some(pool);
+                }
+                match step.kind {
                     StepKind::Fixed(d) => self.q.schedule(t + d, Ev::JobStep { job: job_id }),
                     StepKind::Flow { pool, amount } => {
-                        self.active_flows.insert(job_id, pool);
-                        let p = self.pools.get_mut(&pool).expect("pool exists");
-                        p.add(t, job_id, amount);
+                        self.pools[pool.0 as usize].add(t, job_id.flow(), amount);
                         self.touch_pool(pool, t);
                     }
                 }
@@ -769,8 +926,8 @@ impl<'w> Driver<'w> {
         }
     }
 
-    fn job_step_done(&mut self, t: SimTime, job_id: u64) {
-        let Some(job) = self.jobs.get_mut(&job_id) else {
+    fn job_step_done(&mut self, t: SimTime, job_id: JobId) {
+        let Some(job) = self.jobs.get_mut(job_id) else {
             return; // job cancelled (worker died)
         };
         let Some(step) = job.current.take() else {
@@ -786,8 +943,8 @@ impl<'w> Driver<'w> {
         self.begin_next_step(t, job_id);
     }
 
-    fn finish_job(&mut self, t: SimTime, job_id: u64) {
-        let job = self.jobs.remove(&job_id).expect("finishing a live job");
+    fn finish_job(&mut self, t: SimTime, job_id: JobId) {
+        let job = self.remove_job(job_id).expect("finishing a live job");
         match job.kind {
             JobKind::Call {
                 id,
@@ -809,6 +966,7 @@ impl<'w> Driver<'w> {
                     self.trace.libraries[*idx].served += 1;
                 }
                 let _ = self.mgr.unit_finished(UnitId::Call(id));
+                self.submit_times.remove(&UnitId::Call(id));
                 self.end = self.end.max(t);
                 let more = self.workload.on_complete(UnitId::Call(id), true);
                 for u in more {
@@ -830,6 +988,7 @@ impl<'w> Driver<'w> {
                     success: true,
                 });
                 let _ = self.mgr.unit_finished(UnitId::Task(id));
+                self.submit_times.remove(&UnitId::Task(id));
                 self.end = self.end.max(t);
                 let more = self.workload.on_complete(UnitId::Task(id), true);
                 for u in more {
@@ -860,41 +1019,39 @@ impl<'w> Driver<'w> {
     }
 
     fn fail_worker(&mut self, t: SimTime, w: WorkerId) {
-        let lost = self.mgr.worker_left(w);
-        // cancel this worker's in-flight jobs and requeue their units
-        let doomed: Vec<u64> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| j.worker == w)
-            .map(|(id, _)| *id)
-            .collect();
+        self.mgr.worker_left(w);
+        // cancel this worker's in-flight jobs and requeue their units, in
+        // dispatch order (ascending JobId = the order the old full-scan
+        // visited them); only this worker's jobs are touched
+        let mut doomed = std::mem::take(&mut self.worker_jobs[w.0 as usize]);
+        doomed.sort_unstable();
         for job_id in doomed {
-            if let Some(pool) = self.active_flows.remove(&job_id) {
-                self.pools.get_mut(&pool).unwrap().cancel(t, job_id);
+            let Some(job) = self.jobs.remove(job_id) else {
+                continue;
+            };
+            if let Some(pool) = job.active_flow {
+                self.pools[pool.0 as usize].cancel(t, job_id.flow());
                 self.touch_pool(pool, t);
             }
-            let job = self.jobs.remove(&job_id).unwrap();
             if let Some(unit) = job.unit {
                 self.mgr.requeue(unit);
             }
         }
         // close out the worker's library records
-        for (lib, idx) in &self.lib_records {
+        for idx in self.lib_records.values() {
             let rec = &mut self.trace.libraries[*idx];
             if rec.worker == w && rec.removed.is_none() {
-                let _ = lib;
                 rec.removed = Some(t);
             }
         }
-        let _ = lost;
         self.wake_mgr(t);
     }
 
-    fn touch_pool(&mut self, key: PoolKey, t: SimTime) {
-        let pool = self.pools.get_mut(&key).expect("pool exists");
-        if let Some(at) = pool.next_completion(t) {
-            let epoch = pool.epoch;
-            self.q.schedule(at, Ev::PoolCheck { key, epoch });
+    fn touch_pool(&mut self, pool: PoolId, t: SimTime) {
+        let p = &mut self.pools[pool.0 as usize];
+        if let Some(at) = p.next_completion(t) {
+            let epoch = p.epoch;
+            self.q.schedule(at, Ev::PoolCheck { pool, epoch });
         }
     }
 }

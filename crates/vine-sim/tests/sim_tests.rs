@@ -5,7 +5,7 @@ use vine_core::context::{ContextSpec, FileRef, LibrarySpec};
 use vine_core::ids::{ContentHash, FileId, InvocationId, TaskId};
 use vine_core::resources::Resources;
 use vine_core::task::{FunctionCall, TaskSpec, UnitId, WorkProfile, WorkUnit};
-use vine_sim::{simulate, SimConfig, Workload};
+use vine_sim::{simulate, simulate_reference, SimConfig, Workload};
 
 /// A synthetic function-centric workload runnable at any reuse level.
 struct Synthetic {
@@ -297,6 +297,71 @@ fn app_start_waits_for_95_percent() {
     // workers connect around 19-21 s
     let s = r.app_start.as_secs_f64();
     assert!((18.0..22.0).contains(&s), "app start {s}");
+}
+
+/// Run the same workload through the dense-layout driver and the retained
+/// pre-overhaul reference driver and demand *identical* results: every
+/// record of the trace, the makespan, the failure count, and even the
+/// popped-event count. This is what licenses the slab/dense-pool layout —
+/// it is a layout change, not a behavior change.
+fn assert_drivers_agree(cfg: SimConfig, make: impl Fn() -> Synthetic, what: &str) {
+    let a = simulate(cfg.clone(), &mut make());
+    let b = simulate_reference(cfg, &mut make());
+    assert_eq!(a.trace, b.trace, "{what}: trace diverged");
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan diverged");
+    assert_eq!(a.app_start, b.app_start, "{what}: app_start diverged");
+    assert_eq!(a.end, b.end, "{what}: end diverged");
+    assert_eq!(
+        a.failed_units, b.failed_units,
+        "{what}: failed_units diverged"
+    );
+    assert_eq!(a.events, b.events, "{what}: event count diverged");
+}
+
+#[test]
+fn dense_driver_matches_reference_per_level() {
+    for level in ReuseLevel::ALL {
+        assert_drivers_agree(
+            quick_config(level, 6),
+            || Synthetic::new(level, 400),
+            &format!("{level}"),
+        );
+    }
+}
+
+#[test]
+fn dense_driver_matches_reference_with_chaining() {
+    // dynamic submission exercises submit_times bookkeeping under reuse
+    assert_drivers_agree(
+        quick_config(ReuseLevel::L3, 3),
+        || {
+            let mut w = Synthetic::new(ReuseLevel::L3, 40);
+            w.chain = 120;
+            w
+        },
+        "chained",
+    );
+}
+
+#[test]
+fn dense_driver_matches_reference_under_failures() {
+    // worker deaths exercise the per-worker job index (cancel + requeue
+    // order) and slab slot reuse; stagger two deaths so requeued units
+    // land on survivors and one death hits an already-shrunk cluster
+    for level in [ReuseLevel::L2, ReuseLevel::L3] {
+        let mut cfg = quick_config(level, 4);
+        cfg.fail_workers = vec![(55.0, 0), (140.0, 2)];
+        assert_drivers_agree(cfg, || Synthetic::new(level, 300), &format!("fail-{level}"));
+    }
+}
+
+#[test]
+fn dense_driver_matches_reference_colocated() {
+    assert_drivers_agree(
+        SimConfig::colocated(ReuseLevel::L3),
+        || Synthetic::new(ReuseLevel::L3, 150),
+        "colocated",
+    );
 }
 
 #[test]

@@ -187,19 +187,21 @@ fn plan_clustered(
         });
         let gateway_step = plan.steps.len() - 1;
         prev_gateway_step = Some(gateway_step);
-        // intra-cluster spanning tree rooted at the gateway
-        let sub = plan_tree(Node::Worker(*gateway), Some(gateway_step), rest, cap);
+        // Intra-cluster spanning tree rooted at the gateway. The sub-plan
+        // is built with *no* root dependency so that `None` unambiguously
+        // marks "sourced from the gateway seed": the sub-plan's own step
+        // indices are remapped by `offset`, and a local index can equal
+        // `gateway_step` (both count from zero), so the root dependency
+        // must not be encoded as an index at all before splicing.
+        let sub = plan_tree(Node::Worker(*gateway), None, rest, cap);
         let offset = plan.steps.len();
         for s in sub.steps {
             plan.steps.push(TransferStep {
                 source: s.source,
                 dest: s.dest,
-                depends_on: s.depends_on.map(|d| {
-                    if d == gateway_step {
-                        gateway_step
-                    } else {
-                        d + offset
-                    }
+                depends_on: Some(match s.depends_on {
+                    None => gateway_step,
+                    Some(d) => d + offset,
                 }),
             });
         }
@@ -341,10 +343,11 @@ mod tests {
         assert!(plan.depth() <= 7, "depth {}", plan.depth());
     }
 
-    #[test]
-    fn tree_dependencies_are_wellformed() {
-        let ws = workers(40);
-        let plan = plan_broadcast(&Topology::FullPeer { fanout_cap: 2 }, &ws).unwrap();
+    /// The invariant every execution substrate relies on: a step's
+    /// dependency is exactly the step that delivered the file to its
+    /// source, dependencies point backwards, and no step sources from a
+    /// node that does not yet hold the file.
+    fn assert_wellformed(plan: &BroadcastPlan) {
         let mut have_file: Vec<Node> = vec![Node::Manager];
         for (i, s) in plan.steps.iter().enumerate() {
             // dependency indices always point backwards
@@ -352,7 +355,12 @@ mod tests {
                 assert!(d < i, "forward dependency at step {i}");
                 // and the dependency is the step that delivered to source
                 if let Node::Worker(w) = s.source {
-                    assert_eq!(plan.steps[d].dest, w);
+                    assert_eq!(
+                        plan.steps[d].dest, w,
+                        "step {i} depends on step {d}, which delivered to \
+                         {} rather than to its source {w}",
+                        plan.steps[d].dest
+                    );
                 }
             } else {
                 assert_eq!(s.source, Node::Manager);
@@ -362,6 +370,49 @@ mod tests {
                 "step {i} sources from a node without the file"
             );
             have_file.push(Node::Worker(s.dest));
+        }
+    }
+
+    #[test]
+    fn tree_dependencies_are_wellformed() {
+        let ws = workers(40);
+        for cap in [1, 2, 3] {
+            let plan = plan_broadcast(&Topology::FullPeer { fanout_cap: cap }, &ws).unwrap();
+            assert_coverage(&plan, &ws);
+            assert_wellformed(&plan);
+        }
+        let plan = plan_broadcast(&Topology::Star, &ws).unwrap();
+        assert_wellformed(&plan);
+
+        // clustered plans splice sub-trees whose local step indices can
+        // collide with the parent plan's gateway-step index (regression:
+        // the remap once conflated "depends on the gateway seed" with
+        // "depends on local step number gateway_step", letting a transfer
+        // run before its source held the file)
+        let shapes: &[(&[usize], usize)] = &[
+            // first cluster deep enough that a local dep index 0 exists
+            // while its gateway step is also index 0
+            (&[6, 6], 1),
+            (&[13, 14, 13], 1),
+            (&[20, 20], 2),
+            (&[5, 30, 5], 2),
+            (&[1, 39], 3),
+            (&[40], 3),
+        ];
+        for (sizes, cap) in shapes {
+            let mut clusters = Vec::new();
+            let mut at = 0usize;
+            for sz in *sizes {
+                clusters.push(ws[at..at + sz].to_vec());
+                at += sz;
+            }
+            let topo = Topology::Clustered {
+                clusters,
+                fanout_cap: *cap,
+            };
+            let plan = plan_broadcast(&topo, &ws[..at]).unwrap();
+            assert_coverage(&plan, &ws[..at]);
+            assert_wellformed(&plan);
         }
     }
 

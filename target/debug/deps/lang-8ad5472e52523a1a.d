@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lang-8ad5472e52523a1a.d: crates/bench/benches/lang.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblang-8ad5472e52523a1a.rmeta: crates/bench/benches/lang.rs Cargo.toml
+
+crates/bench/benches/lang.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_clean-7c8b23fbfd40bb13.d: crates/bench/tests/lint_clean.rs
+
+/root/repo/target/debug/deps/lint_clean-7c8b23fbfd40bb13: crates/bench/tests/lint_clean.rs
+
+crates/bench/tests/lint_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

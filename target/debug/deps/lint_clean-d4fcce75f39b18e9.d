@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint_clean-d4fcce75f39b18e9.d: crates/bench/tests/lint_clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_clean-d4fcce75f39b18e9.rmeta: crates/bench/tests/lint_clean.rs Cargo.toml
+
+crates/bench/tests/lint_clean.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

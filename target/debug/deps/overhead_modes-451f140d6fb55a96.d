@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_modes-451f140d6fb55a96.d: crates/bench/benches/overhead_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_modes-451f140d6fb55a96.rmeta: crates/bench/benches/overhead_modes.rs Cargo.toml
+
+crates/bench/benches/overhead_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

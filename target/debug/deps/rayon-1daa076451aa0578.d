@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-1daa076451aa0578.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-1daa076451aa0578: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-f5a0f5fd1b9cc93a.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-f5a0f5fd1b9cc93a.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-f5a0f5fd1b9cc93a.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

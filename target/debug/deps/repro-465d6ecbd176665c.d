@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-465d6ecbd176665c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-465d6ecbd176665c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

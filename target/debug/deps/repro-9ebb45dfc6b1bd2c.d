@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9ebb45dfc6b1bd2c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9ebb45dfc6b1bd2c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

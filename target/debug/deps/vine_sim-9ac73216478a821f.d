@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/vine_sim-9ac73216478a821f.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+/root/repo/target/debug/deps/vine_sim-9ac73216478a821f.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs
 
-/root/repo/target/debug/deps/vine_sim-9ac73216478a821f: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+/root/repo/target/debug/deps/vine_sim-9ac73216478a821f: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs
 
 crates/vine-sim/src/lib.rs:
 crates/vine-sim/src/cluster.rs:
 crates/vine-sim/src/engine.rs:
+crates/vine-sim/src/reference.rs:
 crates/vine-sim/src/run.rs:

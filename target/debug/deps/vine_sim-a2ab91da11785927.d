@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/vine_sim-a2ab91da11785927.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs Cargo.toml
+/root/repo/target/debug/deps/vine_sim-a2ab91da11785927.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs Cargo.toml
 
-/root/repo/target/debug/deps/libvine_sim-a2ab91da11785927.rmeta: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs Cargo.toml
+/root/repo/target/debug/deps/libvine_sim-a2ab91da11785927.rmeta: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs Cargo.toml
 
 crates/vine-sim/src/lib.rs:
 crates/vine-sim/src/cluster.rs:
 crates/vine-sim/src/engine.rs:
+crates/vine-sim/src/reference.rs:
 crates/vine-sim/src/run.rs:
 Cargo.toml:
 

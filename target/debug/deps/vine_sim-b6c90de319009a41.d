@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/vine_sim-b6c90de319009a41.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+/root/repo/target/debug/deps/vine_sim-b6c90de319009a41.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs
 
-/root/repo/target/debug/deps/libvine_sim-b6c90de319009a41.rlib: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+/root/repo/target/debug/deps/libvine_sim-b6c90de319009a41.rlib: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs
 
-/root/repo/target/debug/deps/libvine_sim-b6c90de319009a41.rmeta: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+/root/repo/target/debug/deps/libvine_sim-b6c90de319009a41.rmeta: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs
 
 crates/vine-sim/src/lib.rs:
 crates/vine-sim/src/cluster.rs:
 crates/vine-sim/src/engine.rs:
+crates/vine-sim/src/reference.rs:
 crates/vine-sim/src/run.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-81aae110fb80d20c.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-81aae110fb80d20c.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-81aae110fb80d20c.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

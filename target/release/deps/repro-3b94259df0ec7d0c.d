@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-3b94259df0ec7d0c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-3b94259df0ec7d0c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

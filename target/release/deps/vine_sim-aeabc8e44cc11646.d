@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/vine_sim-aeabc8e44cc11646.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+/root/repo/target/release/deps/vine_sim-aeabc8e44cc11646.d: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs
 
-/root/repo/target/release/deps/libvine_sim-aeabc8e44cc11646.rlib: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+/root/repo/target/release/deps/libvine_sim-aeabc8e44cc11646.rlib: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs
 
-/root/repo/target/release/deps/libvine_sim-aeabc8e44cc11646.rmeta: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/run.rs
+/root/repo/target/release/deps/libvine_sim-aeabc8e44cc11646.rmeta: crates/vine-sim/src/lib.rs crates/vine-sim/src/cluster.rs crates/vine-sim/src/engine.rs crates/vine-sim/src/reference.rs crates/vine-sim/src/run.rs
 
 crates/vine-sim/src/lib.rs:
 crates/vine-sim/src/cluster.rs:
 crates/vine-sim/src/engine.rs:
+crates/vine-sim/src/reference.rs:
 crates/vine-sim/src/run.rs:
