@@ -5,11 +5,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vine_core::context::CodeArtifact;
-use vine_core::ids::TaskId;
-use vine_core::task::TaskSpec;
+use vine_core::context::{CodeArtifact, LibrarySpec};
+use vine_core::ids::{InvocationId, TaskId};
+use vine_core::resources::Resources;
+use vine_core::task::{ExecMode, FunctionCall, TaskSpec, WorkUnit};
 use vine_lang::{pickle, Interp, ModuleRegistry, Value};
 use vine_runtime::worker_host::execute_task;
+use vine_runtime::{run_tcp_worker, Runtime, RuntimeConfig, TcpTransport};
 
 const MODULE_SRC: &str = r#"
 def context_setup(n) {
@@ -80,11 +82,83 @@ fn bench_context_setup_itself(c: &mut Criterion) {
     });
 }
 
+fn trivial_runtime_setup(rt: &mut Runtime) {
+    let mut spec = LibrarySpec::new("trivial");
+    spec.functions = vec!["trivial".into()];
+    spec.resources = Some(Resources::new(1, 512, 512));
+    spec.slots = Some(2);
+    spec.exec_mode = ExecMode::Direct;
+    rt.install_library(spec, "def trivial(a, b) { return a + b }\n", vec![], &[])
+        .unwrap();
+}
+
+fn invocation_round_trip(rt: &mut Runtime, i: &mut u64) {
+    let mut c = FunctionCall::new(
+        InvocationId(*i),
+        "trivial",
+        "trivial",
+        pickle::serialize_args(&[Value::Int(*i as i64), Value::Int(1)]).unwrap(),
+    );
+    *i += 1;
+    c.resources = Resources::new(1, 256, 256);
+    rt.submit(WorkUnit::Call(c));
+    let outcome = rt.run_next().unwrap().expect("one outcome per submit");
+    assert!(outcome.success);
+    black_box(outcome);
+}
+
+fn bench_live_invocation_inproc(c: &mut Criterion) {
+    // the full manager → worker → library → manager round trip, over
+    // in-process channels: scheduling + channel hops, no serialization
+    let mut rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    trivial_runtime_setup(&mut rt);
+    let mut i = 0u64;
+    c.bench_function("live_invocation_inproc", |b| {
+        b.iter(|| invocation_round_trip(&mut rt, &mut i))
+    });
+    rt.shutdown();
+}
+
+fn bench_live_invocation_tcp(c: &mut Criterion) {
+    // the same round trip with every message framed over a loopback
+    // socket: the wire cost Table 2's live analogue reads off directly
+    let transport = TcpTransport::listen("127.0.0.1:0").expect("bind loopback");
+    let addr = transport.local_addr();
+    let worker = std::thread::spawn(move || {
+        run_tcp_worker(
+            addr,
+            Resources::new(8, 16 * 1024, 16 * 1024),
+            ModuleRegistry::new(),
+        )
+        .unwrap();
+    });
+    let mut rt = Runtime::with_transport(
+        RuntimeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+        Box::new(transport),
+    )
+    .expect("tcp worker joins");
+    trivial_runtime_setup(&mut rt);
+    let mut i = 0u64;
+    c.bench_function("live_invocation_tcp_loopback", |b| {
+        b.iter(|| invocation_round_trip(&mut rt, &mut i))
+    });
+    rt.shutdown();
+    worker.join().unwrap();
+}
+
 criterion_group!(
     benches,
     bench_local_invocation,
     bench_task_reload,
     bench_invocation_reuses_context,
-    bench_context_setup_itself
+    bench_context_setup_itself,
+    bench_live_invocation_inproc,
+    bench_live_invocation_tcp
 );
 criterion_main!(benches);

@@ -4,8 +4,12 @@
 //! ```text
 //! repro all [--scale 0.05] [--json] [--jobs N]
 //! repro fig6a table4 ...
+//! repro table2 --transport tcp       # + live loopback overhead rows
 //! repro perf [--sim]
 //! repro lint [file.vine ...]
+//! repro serve --listen ADDR [--workers N] [--n N]   # live TCP manager
+//! repro serve --local [--workers N] [--n N]         # same run, in-proc
+//! repro join ADDR                                   # live TCP worker
 //! repro --list
 //! ```
 //!
@@ -16,9 +20,78 @@
 //! slots, so output is byte-identical at any `--jobs` value — `--jobs 1`
 //! runs the exact sequential path (CI byte-compares the two).
 
-use bench::experiments;
+use bench::{experiments, live};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
+
+/// `repro serve [--listen ADDR | --local] [--workers N] [--n N]` — run the
+/// small live LNNI workload as a manager, printing the deterministic
+/// digest on stdout. With `--listen`, worker processes must dial in via
+/// `repro join ADDR`; with `--local`, workers are in-process threads and
+/// the digest is the reference a TCP run must byte-match.
+fn run_serve(args: &[String]) -> ! {
+    let mut listen: Option<String> = None;
+    let mut local = false;
+    let mut workers = 2usize;
+    let mut n = 200u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = it.next().cloned(),
+            "--local" => local = true,
+            "--workers" => {
+                workers = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--workers expects an integer >= 1");
+                    std::process::exit(2);
+                })
+            }
+            "--n" => {
+                n = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--n expects an integer >= 1");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("serve: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let digest = if local {
+        live::serve_local(workers, n)
+    } else {
+        let Some(addr) = listen else {
+            eprintln!("serve: pass --listen ADDR (or --local for in-process workers)");
+            std::process::exit(2);
+        };
+        live::serve_tcp(&addr, workers, n)
+    };
+    match digest {
+        Ok(d) => {
+            println!("{d}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro join ADDR` — be one worker process until the manager says stop.
+fn run_join(args: &[String]) -> ! {
+    let Some(addr) = args.first() else {
+        eprintln!("join: pass the manager address, e.g. repro join 127.0.0.1:9440");
+        std::process::exit(2);
+    };
+    match live::join(addr) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("join: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 /// `repro lint [paths...]` — run the vine-lint language + environment
 /// layers over vinescript sources. With no paths, lints the embedded
@@ -87,10 +160,17 @@ fn main() {
     if args.first().map(String::as_str) == Some("lint") {
         run_lint(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("join") {
+        run_join(&args[1..]);
+    }
     let mut scale = 1.0f64;
     let mut json = false;
     let mut jobs = 0usize; // 0 = available parallelism
     let mut sim = false;
+    let mut transport: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -117,6 +197,16 @@ fn main() {
             }
             "--json" => json = true,
             "--sim" => sim = true,
+            "--transport" => {
+                transport = it
+                    .next()
+                    .filter(|t| t.as_str() == "inproc" || t.as_str() == "tcp")
+                    .cloned();
+                if transport.is_none() {
+                    eprintln!("--transport expects 'inproc' or 'tcp'");
+                    std::process::exit(2);
+                }
+            }
             "--list" => {
                 for id in experiments::IDS {
                     println!("{id}");
@@ -125,8 +215,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all | <id>...] [--scale S] [--json] [--jobs N]\n\
+                    "usage: repro [all | <id>...] [--scale S] [--json] [--jobs N] [--transport inproc|tcp]\n\
                      \x20      repro lint [file.vine ...]\n\
+                     \x20      repro serve [--listen ADDR | --local] [--workers N] [--n N]\n\
+                     \x20      repro join ADDR\n\
                      experiments: {}\n\
                      extra: perf (scheduler self-benchmark, writes BENCH_sched.json)\n\
                      \x20      perf --sim (simulator event-core self-benchmark, writes BENCH_sim.json)\n\
@@ -175,6 +267,21 @@ fn main() {
             println!("{}", table.to_json());
         } else {
             table.print();
+        }
+    }
+
+    // live transport rows ride along only when asked for: the default
+    // output stays byte-identical to the committed reference
+    if let Some(kind) = transport {
+        if ids.iter().any(|i| i == "table2") {
+            let live = live::table2_live(scale, kind == "tcp");
+            if json {
+                println!("{}", live.to_json());
+            } else {
+                live.print();
+            }
+        } else {
+            eprintln!("--transport only affects table2; add it to the experiment list");
         }
     }
 }

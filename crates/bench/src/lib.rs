@@ -2,11 +2,14 @@
 //!
 //! The experiment harness. [`experiments`] has one function per table and
 //! figure of the paper's evaluation; [`table::Table`] is the common output
-//! shape (printable and JSON-serializable). The `repro` binary dispatches
-//! by experiment id; the Criterion benches in `benches/` measure the
-//! latency-critical substrate paths and the DESIGN.md ablations.
+//! shape (printable and JSON-serializable). [`live`] drives the live
+//! runtime over both transports (`repro serve` / `repro join` and the
+//! `--transport` flag). The `repro` binary dispatches by experiment id;
+//! the Criterion benches in `benches/` measure the latency-critical
+//! substrate paths and the DESIGN.md ablations.
 
 pub mod experiments;
+pub mod live;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,188 @@
+//! Length-prefixed framing for protocol messages on byte streams.
+//!
+//! Wire format, per frame:
+//!
+//! ```text
+//! +----------------+----------------------------------+
+//! | length: u32 LE | payload: `length` bytes of JSON  |
+//! +----------------+----------------------------------+
+//! ```
+//!
+//! The payload is the serde encoding of one message (this workspace's
+//! serde shim renders JSON text). Frames are self-delimiting, so a reader
+//! never needs lookahead, and every failure mode is explicit:
+//!
+//! * a stream that ends **between** frames is a clean close
+//!   ([`FrameError::Closed`] — how a worker's death is observed);
+//! * a stream that ends **inside** a header or payload is
+//!   [`FrameError::Truncated`];
+//! * a header announcing more than [`MAX_FRAME`] bytes is
+//!   [`FrameError::Oversized`] and is rejected *before* any allocation —
+//!   a garbage header cannot make the receiver allocate gigabytes;
+//! * a payload that is not valid UTF-8/JSON or does not decode to the
+//!   expected message type is [`FrameError::Malformed`].
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Largest payload a frame may carry (64 MiB). Library images ship whole
+/// module sources and serialized functions, so frames are allowed to be
+/// large — but never unbounded.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Every way reading or writing a frame can fail.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly on a frame boundary.
+    Closed,
+    /// The stream ended mid-header or mid-payload.
+    Truncated { expected: usize, got: usize },
+    /// The header announced a payload larger than [`MAX_FRAME`] (or an
+    /// encoder was asked to produce one).
+    Oversized { len: usize, max: usize },
+    /// The payload was not a valid encoding of the expected message.
+    Malformed(String),
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "stream closed"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encode one message and write it as a frame.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
+    let payload = serde_json::to_string(msg)
+        .map_err(|e| FrameError::Malformed(e.to_string()))?
+        .into_bytes();
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len: payload.len(),
+            max: MAX_FRAME,
+        });
+    }
+    // one buffer, one write: header and payload must not straddle writes,
+    // or Nagle's algorithm turns every frame into a delayed-ACK stall
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read until `buf` is full or the stream ends; returns bytes read. Unlike
+/// `read_exact`, a short read is reported with its exact length so the
+/// caller can distinguish a clean close from a truncated frame.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(got)
+}
+
+/// Read and decode the next frame.
+pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    let mut header = [0u8; 4];
+    match read_full(r, &mut header)? {
+        0 => return Err(FrameError::Closed),
+        4 => {}
+        got => return Err(FrameError::Truncated { expected: 4, got }),
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return Err(FrameError::Malformed("empty frame".into()));
+    }
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_full(r, &mut payload)?;
+    if got < len {
+        return Err(FrameError::Truncated { expected: len, got });
+    }
+    let text =
+        std::str::from_utf8(&payload).map_err(|e| FrameError::Malformed(format!("utf-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Encode one message as a standalone frame (header + payload), e.g. for
+/// tests that want to corrupt specific bytes.
+pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Vec<u8>, FrameError> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, msg)?;
+    Ok(buf)
+}
+
+/// Decode one message from a standalone frame.
+pub fn decode_frame<T: Deserialize>(frame: &[u8]) -> Result<T, FrameError> {
+    let mut cursor = frame;
+    read_frame(&mut cursor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::WorkerToManager;
+    use vine_core::resources::Resources;
+
+    #[test]
+    fn roundtrip_and_clean_close() {
+        let msg = WorkerToManager::Join {
+            resources: Resources::new(8, 1024, 1024),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, &WorkerToManager::Leave).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame::<WorkerToManager>(&mut cursor).unwrap(), msg);
+        assert_eq!(
+            read_frame::<WorkerToManager>(&mut cursor).unwrap(),
+            WorkerToManager::Leave
+        );
+        assert!(matches!(
+            read_frame::<WorkerToManager>(&mut cursor),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(u32::MAX).to_le_bytes());
+        frame.extend_from_slice(b"not that long");
+        assert!(matches!(
+            decode_frame::<WorkerToManager>(&frame),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+}

@@ -1,0 +1,24 @@
+//! # vine-proto
+//!
+//! The wire protocol between the three live processes of the paper's
+//! architecture (§3.4, §3.5): the **manager**, its **workers**, and the
+//! **library daemons** each worker hosts. Two message planes:
+//!
+//! * [`messages`] — manager ↔ worker: join/leave with capacity, library
+//!   install/ready/startup-failed, invocation dispatch/result/requeue,
+//!   stateless tasks, and file-staging directives;
+//! * [`library`] — worker ↔ library: the §3.4 step 1–4 daemon protocol.
+//!
+//! Both planes are plain serde types with no substrate baked in. The
+//! in-process runtime moves them over channels untouched; the TCP runtime
+//! moves them through [`framing`] — a length-prefixed codec with explicit
+//! maximum-frame, truncation, and garbage-frame error paths — so a worker
+//! can live in a different OS process (or machine) from its manager.
+
+pub mod framing;
+pub mod library;
+pub mod messages;
+
+pub use framing::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use library::{LibraryToWorker, WorkerToLibrary};
+pub use messages::{LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};

@@ -21,10 +21,19 @@
 //! The scheduling brain is the same [`vine_manager::Manager`] the
 //! simulator drives — one scheduler, two substrates.
 
+//!
+//! All manager ↔ worker traffic flows through the [`transport::Transport`]
+//! trait: the in-process backend keeps the historical threads-and-channels
+//! substrate, the TCP backend frames the same [`vine_proto`] messages over
+//! sockets to workers in other OS processes.
+
 pub mod library_host;
 pub mod runtime;
+pub mod transport;
 pub mod worker_host;
 
 pub use library_host::LibraryImage;
 pub use runtime::{decode_result, Runtime, RuntimeConfig};
-pub use worker_host::RuntimeEvent;
+pub use transport::{
+    run_tcp_worker, InProcTransport, RecvError, TcpTransport, Transport, TransportEvent,
+};

@@ -6,22 +6,9 @@ use vine_core::ids::{LibraryInstanceId, WorkerId};
 use vine_core::task::ExecMode;
 use vine_lang::pickle;
 use vine_lang::{Interp, ModuleRegistry, Value};
-use vine_worker::{LibraryToWorker, WorkerToLibrary};
+use vine_proto::{LibraryToWorker, WorkerToLibrary};
 
-/// Everything a worker needs to boot a library daemon (what the manager
-/// ships: code + setup + environment identity).
-#[derive(Clone)]
-pub struct LibraryImage {
-    pub instance: LibraryInstanceId,
-    /// vine-lang source of the library's module (functions + setup).
-    pub source: String,
-    /// Serialized functions with no source form, reconstructed on boot.
-    pub serialized_functions: Vec<Vec<u8>>,
-    /// Context-setup function name and serialized arguments (§2.2.1
-    /// element 4).
-    pub setup: Option<(String, Vec<u8>)>,
-    pub default_mode: ExecMode,
-}
+pub use vine_proto::{LibraryImage, LibrarySetup};
 
 /// A running daemon: its thread and command channel.
 pub struct LibraryHost {
@@ -74,11 +61,11 @@ fn daemon_main(
             let def = pickle::deserialize_funcdef(blob).map_err(|e| format!("code object: {e}"))?;
             interp.bind_function(def);
         }
-        if let Some((setup_fn, args_blob)) = &image.setup {
-            let args = pickle::deserialize_args(args_blob, &interp.globals)
+        if let Some(setup) = &image.setup {
+            let args = pickle::deserialize_args(&setup.args_blob, &interp.globals)
                 .map_err(|e| format!("setup args: {e}"))?;
             interp
-                .call_global(setup_fn, &args)
+                .call_global(&setup.function, &args)
                 .map_err(|e| format!("context setup: {e}"))?;
         }
         Ok(())
@@ -220,10 +207,10 @@ mod tests {
             instance: LibraryInstanceId(1),
             source: SRC.into(),
             serialized_functions: vec![],
-            setup: Some((
-                "context_setup".into(),
-                pickle::serialize_args(&[Value::Int(1000)]).unwrap(),
-            )),
+            setup: Some(LibrarySetup {
+                function: "context_setup".into(),
+                args_blob: pickle::serialize_args(&[Value::Int(1000)]).unwrap(),
+            }),
             default_mode: mode,
         };
         let host = spawn_library(WorkerId(0), image, ModuleRegistry::new(), etx);

@@ -1,9 +1,8 @@
 //! The live runtime: the same [`vine_manager::Manager`] brain driving real
-//! threads.
+//! workers through a pluggable [`Transport`] — threads-and-channels in
+//! process, or framed TCP to workers in other OS processes.
 
-use crate::library_host::LibraryImage;
-use crate::worker_host::{spawn_worker, RuntimeEvent, WorkerCmd, WorkerHandle};
-use crossbeam::channel::Receiver;
+use crate::transport::{InProcTransport, RecvError, Transport, TransportEvent};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 use vine_core::context::LibrarySpec;
@@ -14,6 +13,7 @@ use vine_core::{Result, VineError};
 use vine_lang::pickle;
 use vine_lang::{ModuleRegistry, Value};
 use vine_manager::{Decision, Manager};
+use vine_proto::{LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};
 
 /// Live cluster configuration.
 #[derive(Clone)]
@@ -46,11 +46,14 @@ struct LibraryTemplate {
     arities: BTreeMap<String, usize>,
 }
 
-/// A live in-process cluster.
+/// A live cluster: manager in this struct, workers wherever the transport
+/// put them.
 pub struct Runtime {
     mgr: Manager,
-    workers: BTreeMap<WorkerId, WorkerHandle>,
-    events: Receiver<RuntimeEvent>,
+    transport: Box<dyn Transport>,
+    /// Workers currently admitted; guards double-processing of a leave
+    /// observed both by an explicit kill and by the transport.
+    connected: BTreeSet<WorkerId>,
     templates: BTreeMap<String, LibraryTemplate>,
     in_flight: BTreeMap<UnitId, WorkUnit>,
     outcomes: Vec<Outcome>,
@@ -62,27 +65,29 @@ pub struct Runtime {
     /// Module names the workers' activated environment provides, retained
     /// for install-time pre-flight analysis.
     module_names: BTreeSet<String>,
-    /// Capacity of each worker, retained for placement pre-flight.
+    /// Capacity of each admitted worker, retained for placement pre-flight.
     worker_caps: Vec<Resources>,
 }
 
 impl Runtime {
-    /// Boot a cluster of worker threads.
+    /// Boot a cluster of in-process worker threads (the historical — and
+    /// still default — substrate).
     pub fn new(cfg: RuntimeConfig) -> Runtime {
-        let (etx, erx) = crossbeam::channel::unbounded();
+        let transport =
+            InProcTransport::new(cfg.workers, cfg.worker_resources, cfg.registry.clone());
+        Runtime::with_transport(cfg, Box::new(transport))
+            .expect("in-process workers join instantly")
+    }
+
+    /// Boot a cluster over any transport. Blocks until `cfg.workers`
+    /// workers have joined (for TCP: until that many dialed in), failing
+    /// with [`VineError::Timeout`] after `cfg.idle_timeout`.
+    pub fn with_transport(cfg: RuntimeConfig, transport: Box<dyn Transport>) -> Result<Runtime> {
         let module_names: BTreeSet<String> = cfg.registry.names().map(|n| n.to_string()).collect();
-        let worker_caps = vec![cfg.worker_resources; cfg.workers];
-        let mut mgr = Manager::new();
-        let mut workers = BTreeMap::new();
-        for i in 0..cfg.workers {
-            let id = WorkerId(i as u32);
-            mgr.worker_joined(id, cfg.worker_resources);
-            workers.insert(id, spawn_worker(id, cfg.registry.clone(), etx.clone()));
-        }
-        Runtime {
-            mgr,
-            workers,
-            events: erx,
+        let mut rt = Runtime {
+            mgr: Manager::new(),
+            transport,
+            connected: BTreeSet::new(),
             templates: BTreeMap::new(),
             in_flight: BTreeMap::new(),
             outcomes: Vec::new(),
@@ -90,8 +95,19 @@ impl Runtime {
             dispatch_times: BTreeMap::new(),
             idle_timeout: cfg.idle_timeout,
             module_names,
-            worker_caps,
+            worker_caps: Vec::new(),
+        };
+        while rt.connected.len() < cfg.workers {
+            let joined = rt.connected.len();
+            let ev = rt.transport.recv_timeout(rt.idle_timeout).map_err(|_| {
+                VineError::Timeout(format!(
+                    "waiting for {} worker(s) to join, {} joined",
+                    cfg.workers, joined
+                ))
+            })?;
+            rt.handle(ev)?;
         }
+        Ok(rt)
     }
 
     /// Register a library: the spec (for the scheduler) plus what workers
@@ -186,15 +202,18 @@ impl Runtime {
         self.mgr.submit(unit);
     }
 
-    /// Kill a worker (fault injection): its thread shuts down; running
-    /// units are requeued and rescheduled elsewhere.
+    /// Kill a worker (fault injection): its thread or connection is torn
+    /// down; running units are requeued and rescheduled elsewhere.
     pub fn kill_worker(&mut self, id: WorkerId) {
-        if let Some(mut h) = self.workers.remove(&id) {
-            let _ = h.tx.send(WorkerCmd::Shutdown);
-            if let Some(t) = h.thread.take() {
-                let _ = t.join();
-            }
+        self.transport.disconnect(id);
+        if self.connected.remove(&id) {
+            self.worker_left(id);
         }
+    }
+
+    /// A worker is gone (kill, crash, or disconnect): tell the manager and
+    /// requeue everything that was in flight there.
+    fn worker_left(&mut self, id: WorkerId) {
         let lost = self.mgr.worker_left(id);
         for unit in lost {
             if let Some(w) = self.in_flight.remove(&unit) {
@@ -218,17 +237,7 @@ impl Runtime {
             if self.mgr.is_idle() {
                 return Ok(None);
             }
-            let ev = self.events.recv_timeout(self.idle_timeout).map_err(|_| {
-                VineError::Timeout(format!(
-                    "no progress for {:?} with {} unit(s) outstanding",
-                    self.idle_timeout,
-                    self.mgr.pending()
-                ))
-            })?;
-            self.handle(ev)?;
-            while let Ok(ev) = self.events.try_recv() {
-                self.handle(ev)?;
-            }
+            self.wait_for_event()?;
         }
     }
 
@@ -240,20 +249,32 @@ impl Runtime {
             if self.mgr.is_idle() {
                 break;
             }
-            let ev = self.events.recv_timeout(self.idle_timeout).map_err(|_| {
-                VineError::Timeout(format!(
+            self.wait_for_event()?;
+        }
+        Ok(std::mem::take(&mut self.outcomes))
+    }
+
+    /// Block for the next transport event, then drain whatever else is
+    /// already queued.
+    fn wait_for_event(&mut self) -> Result<()> {
+        let ev = self
+            .transport
+            .recv_timeout(self.idle_timeout)
+            .map_err(|e| match e {
+                RecvError::Timeout => VineError::Timeout(format!(
                     "no progress for {:?} with {} unit(s) outstanding",
                     self.idle_timeout,
                     self.mgr.pending()
-                ))
+                )),
+                RecvError::Closed => {
+                    VineError::Internal("transport event stream closed".to_string())
+                }
             })?;
+        self.handle(ev)?;
+        while let Some(ev) = self.transport.try_recv() {
             self.handle(ev)?;
-            // drain anything else that is already waiting
-            while let Ok(ev) = self.events.try_recv() {
-                self.handle(ev)?;
-            }
         }
-        Ok(std::mem::take(&mut self.outcomes))
+        Ok(())
     }
 
     /// Emit and realize scheduling decisions until the manager rests.
@@ -264,7 +285,7 @@ impl Runtime {
                     worker,
                     instance,
                     spec,
-                    missing: _,
+                    missing,
                 } => {
                     let template = self.templates.get(&spec.name).ok_or_else(|| {
                         VineError::Internal(format!("no template for library {}", spec.name))
@@ -273,23 +294,27 @@ impl Runtime {
                         instance,
                         source: template.source.clone(),
                         serialized_functions: template.serialized_functions.clone(),
-                        setup: spec.context.setup.as_ref().map(|s| {
-                            (
-                                s.function.clone(),
-                                template
-                                    .setup_args_blob
-                                    .clone()
-                                    .unwrap_or_else(|| s.args_blob.clone()),
-                            )
+                        setup: spec.context.setup.as_ref().map(|s| LibrarySetup {
+                            function: s.function.clone(),
+                            args_blob: template
+                                .setup_args_blob
+                                .clone()
+                                .unwrap_or_else(|| s.args_blob.clone()),
                         }),
                         default_mode: template.mode,
                     };
-                    self.send(worker, WorkerCmd::InstallLibrary(image))?;
+                    self.send(
+                        worker,
+                        ManagerToWorker::InstallLibrary {
+                            image,
+                            stage: missing,
+                        },
+                    )?;
                 }
                 Decision::EvictLibrary {
                     worker, instance, ..
                 } => {
-                    self.send(worker, WorkerCmd::RemoveLibrary(instance))?;
+                    self.send(worker, ManagerToWorker::RemoveLibrary { instance })?;
                 }
                 Decision::DispatchCall {
                     worker,
@@ -301,17 +326,27 @@ impl Runtime {
                     self.in_flight.insert(unit, WorkUnit::Call(call.clone()));
                     self.send(
                         worker,
-                        WorkerCmd::Invoke {
+                        ManagerToWorker::Invoke {
                             instance: library,
                             call,
                         },
                     )?;
                 }
-                Decision::DispatchTask { worker, task, .. } => {
+                Decision::DispatchTask {
+                    worker,
+                    task,
+                    missing,
+                } => {
                     let unit = UnitId::Task(task.id);
                     self.dispatch_times.insert(unit, Instant::now());
                     self.in_flight.insert(unit, WorkUnit::Task(task.clone()));
-                    self.send(worker, WorkerCmd::RunTask(task))?;
+                    self.send(
+                        worker,
+                        ManagerToWorker::RunTask {
+                            task,
+                            stage: missing,
+                        },
+                    )?;
                 }
                 Decision::Fail { unit, error } => {
                     self.outcomes.push(Outcome::failed(unit, error));
@@ -321,39 +356,85 @@ impl Runtime {
         Ok(())
     }
 
-    fn send(&self, worker: WorkerId, cmd: WorkerCmd) -> Result<()> {
-        self.workers
-            .get(&worker)
-            .ok_or(VineError::WorkerLost(worker))?
-            .tx
-            .send(cmd)
-            .map_err(|_| VineError::WorkerLost(worker))
+    /// Deliver one message; a worker found dead mid-send flows into the
+    /// same leave-and-requeue path as an observed disconnect, and the
+    /// decision that targeted it is re-made on the survivors.
+    fn send(&mut self, worker: WorkerId, msg: ManagerToWorker) -> Result<()> {
+        match self.transport.send(worker, msg) {
+            Ok(()) => Ok(()),
+            Err(VineError::WorkerLost(w)) => {
+                if self.connected.remove(&w) {
+                    self.worker_left(w);
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
-    fn handle(&mut self, ev: RuntimeEvent) -> Result<()> {
+    fn handle(&mut self, ev: TransportEvent) -> Result<()> {
         match ev {
-            RuntimeEvent::LibraryReady { worker, instance } => {
-                self.mgr.library_ready(worker, instance)?;
+            TransportEvent::Joined { worker, resources } => {
+                if self.connected.insert(worker) {
+                    self.mgr.worker_joined(worker, resources);
+                    self.worker_caps.push(resources);
+                }
             }
-            RuntimeEvent::LibraryFailed {
-                worker,
-                instance,
-                error: _,
-            } => {
-                self.mgr.library_startup_failed(worker, instance)?;
+            TransportEvent::Left { worker } => {
+                if self.connected.remove(&worker) {
+                    self.worker_left(worker);
+                }
             }
-            RuntimeEvent::UnitDone { worker: _, outcome } => {
-                let unit = outcome.unit;
-                // a result from a worker we already gave up on (killed) is
-                // stale: the unit was requeued and will run again
-                if self.in_flight.remove(&unit).is_none() {
+            TransportEvent::Message { worker, msg } => {
+                if !self.connected.contains(&worker) {
+                    // stragglers from a worker we already gave up on
                     return Ok(());
                 }
-                if let Some(at) = self.dispatch_times.remove(&unit) {
-                    self.unit_durations.push((unit, at.elapsed()));
+                match msg {
+                    WorkerToManager::LibraryReady { instance } => {
+                        self.mgr.library_ready(worker, instance)?;
+                    }
+                    WorkerToManager::LibraryFailed { instance, error: _ } => {
+                        self.mgr.library_startup_failed(worker, instance)?;
+                    }
+                    WorkerToManager::UnitDone { outcome } => {
+                        let unit = outcome.unit;
+                        // a result from a worker we already gave up on is
+                        // stale: the unit was requeued and will run again
+                        if self.in_flight.remove(&unit).is_none() {
+                            return Ok(());
+                        }
+                        if let Some(at) = self.dispatch_times.remove(&unit) {
+                            self.unit_durations.push((unit, at.elapsed()));
+                        }
+                        self.mgr.unit_finished(unit)?;
+                        self.outcomes.push(outcome);
+                    }
+                    WorkerToManager::Requeue { unit } => {
+                        let id = match &unit {
+                            WorkUnit::Call(c) => UnitId::Call(c.id),
+                            WorkUnit::Task(t) => UnitId::Task(t.id),
+                        };
+                        if self.in_flight.remove(&id).is_some() {
+                            self.dispatch_times.remove(&id);
+                            self.mgr.unit_finished(id)?;
+                            self.mgr.requeue(unit);
+                        }
+                    }
+                    WorkerToManager::Leave => {
+                        self.transport.disconnect(worker);
+                        if self.connected.remove(&worker) {
+                            self.worker_left(worker);
+                        }
+                    }
+                    WorkerToManager::Join { .. } => {
+                        // joins are transport-level handshakes; a repeat on
+                        // an admitted connection is a protocol violation
+                        return Err(VineError::Protocol(format!(
+                            "unexpected Join from admitted worker {worker}"
+                        )));
+                    }
                 }
-                self.mgr.unit_finished(unit)?;
-                self.outcomes.push(outcome);
             }
         }
         Ok(())
@@ -364,27 +445,15 @@ impl Runtime {
         self.mgr.instances().map(|(w, l)| (w, l.served)).collect()
     }
 
-    /// Shut the cluster down, joining every thread.
+    /// Shut the cluster down, stopping every worker.
     pub fn shutdown(mut self) {
-        for (_, h) in self.workers.iter_mut() {
-            let _ = h.tx.send(WorkerCmd::Shutdown);
-        }
-        for (_, mut h) in std::mem::take(&mut self.workers) {
-            if let Some(t) = h.thread.take() {
-                let _ = t.join();
-            }
-        }
+        self.transport.shutdown();
     }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        for (_, h) in self.workers.iter_mut() {
-            let _ = h.tx.send(WorkerCmd::Shutdown);
-            if let Some(t) = h.thread.take() {
-                let _ = t.join();
-            }
-        }
+        self.transport.shutdown();
     }
 }
 

@@ -1,0 +1,438 @@
+//! The transport seam between the manager and its workers.
+//!
+//! Everything the runtime says crosses this boundary as a typed
+//! [`vine_proto`] message; nothing above it knows whether a worker is a
+//! thread in this process or a process on another machine. Two backends:
+//!
+//! * [`InProcTransport`] — workers are threads, messages move over
+//!   crossbeam channels untouched (today's semantics, zero serialization);
+//! * [`TcpTransport`] — the manager listens, workers dial in and speak
+//!   [`vine_proto::framing`] frames over `std::net` sockets. A connection
+//!   dropping (worker crash, `kill -9`, network partition) surfaces as
+//!   [`TransportEvent::Left`], which the runtime feeds into the same
+//!   requeue path as an explicit worker kill.
+//!
+//! The worker side of the TCP backend is [`run_tcp_worker`]: dial, `Join`
+//! with a capacity announcement, receive `Welcome`, then run the exact
+//! same [`worker_engine`](crate::worker_host::worker_engine) loop the
+//! in-process backend runs — one engine, two substrates.
+
+use crate::worker_host::{spawn_worker, worker_engine, WorkerHandle};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vine_core::ids::WorkerId;
+use vine_core::resources::Resources;
+use vine_core::{Result, VineError};
+use vine_lang::ModuleRegistry;
+use vine_proto::{read_frame, write_frame, ManagerToWorker, WorkerToManager};
+
+/// What a transport can tell the runtime.
+#[derive(Debug)]
+pub enum TransportEvent {
+    /// A worker connected and announced its capacity (§3.5 join).
+    Joined {
+        worker: WorkerId,
+        resources: Resources,
+    },
+    /// A connected worker sent a protocol message.
+    Message {
+        worker: WorkerId,
+        msg: WorkerToManager,
+    },
+    /// A worker's connection is gone — graceful leave or crash alike. The
+    /// runtime routes this into [`vine_manager::Manager::worker_left`].
+    Left { worker: WorkerId },
+}
+
+/// Why a blocking receive returned without an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No event within the deadline.
+    Timeout,
+    /// The transport can never produce another event.
+    Closed,
+}
+
+/// Manager-side view of a worker fleet. Object-safe so the runtime can
+/// hold any backend behind one pointer.
+pub trait Transport: Send {
+    /// Deliver a message to one worker. `Err(WorkerLost)` means the worker
+    /// is unreachable — the caller decides whether that is fatal.
+    fn send(&mut self, worker: WorkerId, msg: ManagerToWorker) -> Result<()>;
+
+    /// Block for the next event, up to `timeout`.
+    fn recv_timeout(&mut self, timeout: Duration)
+        -> std::result::Result<TransportEvent, RecvError>;
+
+    /// Drain one already-queued event without blocking.
+    fn try_recv(&mut self) -> Option<TransportEvent>;
+
+    /// Forcibly sever one worker (fault injection, eviction of a sick
+    /// peer). In-process this stops and joins the thread; over TCP it
+    /// closes the socket. No [`TransportEvent::Left`] ordering guarantee —
+    /// callers do their own bookkeeping.
+    fn disconnect(&mut self, worker: WorkerId);
+
+    /// Gracefully stop every worker and release transport resources.
+    /// Idempotent.
+    fn shutdown(&mut self);
+}
+
+// ---------------------------------------------------------------- in-proc
+
+/// Workers as threads in this process, channels as wires — today's live
+/// runtime semantics, preserved exactly.
+pub struct InProcTransport {
+    workers: BTreeMap<WorkerId, WorkerHandle>,
+    events: Receiver<(WorkerId, WorkerToManager)>,
+    /// Kept so the event channel outlives transient worker sets and so
+    /// late-added workers can be wired to the same stream.
+    events_tx: Sender<(WorkerId, WorkerToManager)>,
+    registry: ModuleRegistry,
+    /// Join announcements queued at construction (and by [`add_worker`]).
+    pending: VecDeque<TransportEvent>,
+    next_id: u32,
+}
+
+impl InProcTransport {
+    /// Spawn `workers` worker threads, each announcing `resources`.
+    pub fn new(workers: usize, resources: Resources, registry: ModuleRegistry) -> InProcTransport {
+        let (etx, erx) = crossbeam::channel::unbounded();
+        let mut t = InProcTransport {
+            workers: BTreeMap::new(),
+            events: erx,
+            events_tx: etx,
+            registry,
+            pending: VecDeque::new(),
+            next_id: 0,
+        };
+        for _ in 0..workers {
+            t.add_worker(resources);
+        }
+        t
+    }
+
+    /// Spawn one more worker thread; its join event is queued like a
+    /// freshly dialed TCP worker's would be.
+    pub fn add_worker(&mut self, resources: Resources) -> WorkerId {
+        let id = WorkerId(self.next_id);
+        self.next_id += 1;
+        self.workers.insert(
+            id,
+            spawn_worker(id, self.registry.clone(), self.events_tx.clone()),
+        );
+        self.pending.push_back(TransportEvent::Joined {
+            worker: id,
+            resources,
+        });
+        id
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, worker: WorkerId, msg: ManagerToWorker) -> Result<()> {
+        self.workers
+            .get(&worker)
+            .ok_or(VineError::WorkerLost(worker))?
+            .tx
+            .send(msg)
+            .map_err(|_| VineError::WorkerLost(worker))
+    }
+
+    fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> std::result::Result<TransportEvent, RecvError> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(ev);
+        }
+        match self.events.recv_timeout(timeout) {
+            Ok((worker, msg)) => Ok(TransportEvent::Message { worker, msg }),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<TransportEvent> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Some(ev);
+        }
+        self.events
+            .try_recv()
+            .ok()
+            .map(|(worker, msg)| TransportEvent::Message { worker, msg })
+    }
+
+    fn disconnect(&mut self, worker: WorkerId) {
+        if let Some(mut h) = self.workers.remove(&worker) {
+            let _ = h.tx.send(ManagerToWorker::Shutdown);
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        for (_, h) in self.workers.iter_mut() {
+            let _ = h.tx.send(ManagerToWorker::Shutdown);
+        }
+        for (_, mut h) in std::mem::take(&mut self.workers) {
+            if let Some(t) = h.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for InProcTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ------------------------------------------------------------------- tcp
+
+/// Shared writer halves of every live worker connection. Reader threads
+/// remove their entry on disconnect so sends fail fast afterwards.
+type StreamMap = Arc<Mutex<BTreeMap<WorkerId, TcpStream>>>;
+
+/// The manager side of the TCP backend: listen, admit dialing workers,
+/// tag each connection with a fresh [`WorkerId`].
+pub struct TcpTransport {
+    streams: StreamMap,
+    events: Receiver<TransportEvent>,
+    /// Held only to keep the channel open while no worker is connected.
+    _events_tx: Sender<TransportEvent>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// admitting workers.
+    pub fn listen(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let streams: StreamMap = Arc::new(Mutex::new(BTreeMap::new()));
+        let (etx, erx) = crossbeam::channel::unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let streams = Arc::clone(&streams);
+            let etx = etx.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("vine-accept".into())
+                .spawn(move || {
+                    let ids = AtomicU32::new(0);
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let worker = WorkerId(ids.fetch_add(1, Ordering::Relaxed));
+                                let streams = Arc::clone(&streams);
+                                let etx = etx.clone();
+                                let _ = std::thread::Builder::new()
+                                    .name(format!("vine-conn-{worker}"))
+                                    .spawn(move || serve_connection(worker, stream, streams, etx));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(TcpTransport {
+            streams,
+            events: erx,
+            _events_tx: etx,
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address workers should dial (resolves `:0` bindings).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+/// One admitted connection: handshake, then pump frames into the event
+/// stream until the socket dies.
+fn serve_connection(
+    worker: WorkerId,
+    stream: TcpStream,
+    streams: StreamMap,
+    events: Sender<TransportEvent>,
+) {
+    // the handshake and reader run on this thread; writers clone the stream
+    stream.set_nonblocking(false).ok();
+    // frames are small and latency-bound: never sit on one waiting to
+    // coalesce (Nagle + delayed ACK costs ~40 ms per dispatch otherwise)
+    stream.set_nodelay(true).ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    // §3.5 step 1: the worker announces itself before anything else
+    let resources = match read_frame::<WorkerToManager>(&mut reader) {
+        Ok(WorkerToManager::Join { resources }) => resources,
+        _ => return, // not a worker — drop the connection unannounced
+    };
+    if write_frame(&mut writer, &ManagerToWorker::Welcome { worker }).is_err() {
+        return;
+    }
+    streams.lock().unwrap().insert(worker, writer);
+    let _ = events.send(TransportEvent::Joined { worker, resources });
+
+    // pump until clean close, crash, or garbage: the worker is gone
+    while let Ok(msg) = read_frame::<WorkerToManager>(&mut reader) {
+        let _ = events.send(TransportEvent::Message { worker, msg });
+    }
+    streams.lock().unwrap().remove(&worker);
+    let _ = events.send(TransportEvent::Left { worker });
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, worker: WorkerId, msg: ManagerToWorker) -> Result<()> {
+        let mut streams = self.streams.lock().unwrap();
+        let stream = streams
+            .get_mut(&worker)
+            .ok_or(VineError::WorkerLost(worker))?;
+        if write_frame(stream, &msg).is_err() {
+            // half-dead socket: drop the writer; the reader thread will
+            // observe the close and emit Left
+            streams.remove(&worker);
+            return Err(VineError::WorkerLost(worker));
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> std::result::Result<TransportEvent, RecvError> {
+        match self.events.recv_timeout(timeout) {
+            Ok(ev) => Ok(ev),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<TransportEvent> {
+        self.events.try_recv().ok()
+    }
+
+    fn disconnect(&mut self, worker: WorkerId) {
+        if let Some(stream) = self.streams.lock().unwrap().remove(&worker) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn shutdown(&mut self) {
+        let streams = std::mem::take(&mut *self.streams.lock().unwrap());
+        for (_, mut stream) in streams {
+            let _ = write_frame(&mut stream, &ManagerToWorker::Shutdown);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ----------------------------------------------------------- worker side
+
+/// Dial a manager and serve as a worker until it says `Shutdown` (or the
+/// connection dies). This is the whole worker process: handshake, then
+/// the shared [`worker_engine`] with a socket for a mailbox.
+pub fn run_tcp_worker(
+    addr: impl ToSocketAddrs,
+    resources: Resources,
+    registry: ModuleRegistry,
+) -> Result<()> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| VineError::Protocol(format!("dialing manager: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| VineError::Protocol(format!("cloning socket: {e}")))?;
+    let mut reader = BufReader::new(stream);
+
+    write_frame(&mut writer, &WorkerToManager::Join { resources })
+        .map_err(|e| VineError::Protocol(format!("join: {e}")))?;
+    let id = match read_frame::<ManagerToWorker>(&mut reader) {
+        Ok(ManagerToWorker::Welcome { worker }) => worker,
+        Ok(other) => {
+            return Err(VineError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+        Err(e) => return Err(VineError::Protocol(format!("welcome: {e}"))),
+    };
+
+    let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<ManagerToWorker>();
+    let (ev_tx, ev_rx) = crossbeam::channel::unbounded::<(WorkerId, WorkerToManager)>();
+    let engine = std::thread::Builder::new()
+        .name(format!("worker-{id}"))
+        .spawn(move || worker_engine(id, registry, cmd_rx, ev_tx))
+        .expect("spawn worker engine");
+
+    // uplink: everything the engine reports goes out as frames
+    let uplink = std::thread::Builder::new()
+        .name(format!("worker-{id}-uplink"))
+        .spawn(move || {
+            while let Ok((_, msg)) = ev_rx.recv() {
+                if write_frame(&mut writer, &msg).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn uplink thread");
+
+    // downlink: frames become engine commands until shutdown/close
+    loop {
+        match read_frame::<ManagerToWorker>(&mut reader) {
+            Ok(ManagerToWorker::Shutdown) => {
+                let _ = cmd_tx.send(ManagerToWorker::Shutdown);
+                break;
+            }
+            Ok(msg) => {
+                if cmd_tx.send(msg).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                // manager gone (clean close or otherwise): drain and exit
+                // like a shutdown
+                let _ = cmd_tx.send(ManagerToWorker::Shutdown);
+                break;
+            }
+        }
+    }
+    drop(cmd_tx);
+    let _ = engine.join();
+    let _ = uplink.join();
+    Ok(())
+}

@@ -1,64 +1,40 @@
-//! The worker thread: relays manager commands to library daemons and runs
-//! stateless tasks, mirroring the paper's worker process.
+//! The worker engine: relays manager protocol messages to library daemons
+//! and runs stateless tasks, mirroring the paper's worker process.
+//!
+//! The engine speaks [`vine_proto`] on both sides and is substrate-blind:
+//! the in-process transport feeds it from channels, the TCP worker agent
+//! feeds it from a framed socket — same loop, same semantics.
 
-use crate::library_host::{spawn_library, LibraryHost, LibraryImage};
+use crate::library_host::{spawn_library, LibraryHost};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::BTreeMap;
 use std::thread::JoinHandle;
 use vine_core::context::CodeArtifact;
 use vine_core::ids::{LibraryInstanceId, WorkerId};
-use vine_core::task::{FunctionCall, Outcome, TaskSpec, UnitId};
+use vine_core::task::{Outcome, TaskSpec, UnitId, WorkUnit};
 use vine_lang::pickle;
 use vine_lang::{Interp, ModuleRegistry};
-use vine_worker::{LibraryToWorker, WorkerToLibrary};
+use vine_proto::{LibraryToWorker, ManagerToWorker, WorkerToLibrary, WorkerToManager};
 
-/// Commands the manager side sends a worker.
-pub enum WorkerCmd {
-    InstallLibrary(LibraryImage),
-    RemoveLibrary(LibraryInstanceId),
-    Invoke {
-        instance: LibraryInstanceId,
-        call: FunctionCall,
-    },
-    RunTask(TaskSpec),
-    Shutdown,
-}
-
-/// Events a worker reports back to the runtime.
-#[derive(Debug)]
-pub enum RuntimeEvent {
-    LibraryReady {
-        worker: WorkerId,
-        instance: LibraryInstanceId,
-    },
-    LibraryFailed {
-        worker: WorkerId,
-        instance: LibraryInstanceId,
-        error: String,
-    },
-    UnitDone {
-        worker: WorkerId,
-        outcome: Outcome,
-    },
-}
-
-/// Handle to a spawned worker thread.
+/// Handle to a spawned in-process worker engine.
 pub struct WorkerHandle {
     pub id: WorkerId,
-    pub tx: Sender<WorkerCmd>,
+    pub tx: Sender<ManagerToWorker>,
     pub thread: Option<JoinHandle<()>>,
 }
 
-/// Spawn a worker thread.
+/// Spawn a worker engine on its own thread (the in-process backend).
+/// Everything the worker tells the manager arrives on `events`, tagged
+/// with the worker's id.
 pub fn spawn_worker(
     id: WorkerId,
     registry: ModuleRegistry,
-    events: Sender<RuntimeEvent>,
+    events: Sender<(WorkerId, WorkerToManager)>,
 ) -> WorkerHandle {
-    let (tx, rx) = crossbeam::channel::unbounded::<WorkerCmd>();
+    let (tx, rx) = crossbeam::channel::unbounded::<ManagerToWorker>();
     let thread = std::thread::Builder::new()
         .name(format!("worker-{id}"))
-        .spawn(move || worker_main(id, registry, rx, events))
+        .spawn(move || worker_engine(id, registry, rx, events))
         .expect("spawn worker thread");
     WorkerHandle {
         id,
@@ -67,11 +43,14 @@ pub fn spawn_worker(
     }
 }
 
-fn worker_main(
+/// The worker's command loop: serve [`ManagerToWorker`] messages until
+/// `Shutdown` (or the command stream closes), reporting back through
+/// `events`. Identical for both transports.
+pub fn worker_engine(
     id: WorkerId,
     registry: ModuleRegistry,
-    rx: Receiver<WorkerCmd>,
-    events: Sender<RuntimeEvent>,
+    rx: Receiver<ManagerToWorker>,
+    events: Sender<(WorkerId, WorkerToManager)>,
 ) {
     let (lib_tx, lib_rx) =
         crossbeam::channel::unbounded::<(WorkerId, LibraryInstanceId, LibraryToWorker)>();
@@ -83,11 +62,18 @@ fn worker_main(
             recv(rx) -> cmd => {
                 let Ok(cmd) = cmd else { break };
                 match cmd {
-                    WorkerCmd::InstallLibrary(image) => {
+                    ManagerToWorker::Welcome { .. } => {
+                        // handshake concern; the transport consumed it
+                        // already, a stray copy is harmless
+                    }
+                    ManagerToWorker::InstallLibrary { image, stage: _ } => {
+                        // the in-process substrate shares one filesystem,
+                        // so staged context files are already local; the
+                        // directive matters to remote data planes
                         let host = spawn_library(id, image, registry.clone(), lib_tx.clone());
                         libraries.insert(host.instance, host);
                     }
-                    WorkerCmd::RemoveLibrary(instance) => {
+                    ManagerToWorker::RemoveLibrary { instance } => {
                         if let Some(mut host) = libraries.remove(&instance) {
                             let _ = host.tx.send(WorkerToLibrary::Shutdown);
                             if let Some(t) = host.thread.take() {
@@ -95,7 +81,7 @@ fn worker_main(
                             }
                         }
                     }
-                    WorkerCmd::Invoke { instance, call } => {
+                    ManagerToWorker::Invoke { instance, call } => {
                         match libraries.get(&instance) {
                             Some(host) => {
                                 // the invocation's option wins; otherwise
@@ -110,17 +96,16 @@ fn worker_main(
                                 });
                             }
                             None => {
-                                let _ = events.send(RuntimeEvent::UnitDone {
-                                    worker: id,
-                                    outcome: Outcome::failed(
-                                        UnitId::Call(call.id),
-                                        format!("no library instance {instance} on {id}"),
-                                    ),
-                                });
+                                // eviction race: the instance vanished
+                                // between dispatch and arrival — not the
+                                // invocation's fault, hand it back
+                                let _ = events.send((id, WorkerToManager::Requeue {
+                                    unit: WorkUnit::Call(call),
+                                }));
                             }
                         }
                     }
-                    WorkerCmd::RunTask(task) => {
+                    ManagerToWorker::RunTask { task, stage: _ } => {
                         // each task gets its own thread — stateless tasks on
                         // one worker run concurrently, like separate processes
                         let events = events.clone();
@@ -129,32 +114,23 @@ fn worker_main(
                             .name(format!("task-{}", task.id))
                             .spawn(move || {
                                 let outcome = execute_task(&task, registry);
-                                let _ = events.send(RuntimeEvent::UnitDone {
-                                    worker: id,
-                                    outcome,
-                                });
+                                let _ = events.send((id, WorkerToManager::UnitDone { outcome }));
                             })
                             .expect("spawn task thread");
                         task_threads.push(t);
                     }
-                    WorkerCmd::Shutdown => break,
+                    ManagerToWorker::Shutdown => break,
                 }
             }
             recv(lib_rx) -> msg => {
                 let Ok((_, instance, msg)) = msg else { break };
-                let ev = match msg {
-                    LibraryToWorker::Ready => RuntimeEvent::LibraryReady {
-                        worker: id,
-                        instance,
-                    },
-                    LibraryToWorker::StartupFailed { error } => RuntimeEvent::LibraryFailed {
-                        worker: id,
-                        instance,
-                        error,
-                    },
+                let reply = match msg {
+                    LibraryToWorker::Ready => WorkerToManager::LibraryReady { instance },
+                    LibraryToWorker::StartupFailed { error } => {
+                        WorkerToManager::LibraryFailed { instance, error }
+                    }
                     LibraryToWorker::ResultReady { id: call_id, result } => {
-                        RuntimeEvent::UnitDone {
-                            worker: id,
+                        WorkerToManager::UnitDone {
                             outcome: match result {
                                 Ok(blob) => Outcome::ok(UnitId::Call(call_id), blob),
                                 Err(e) => Outcome::failed(UnitId::Call(call_id), e),
@@ -162,7 +138,7 @@ fn worker_main(
                         }
                     }
                 };
-                let _ = events.send(ev);
+                let _ = events.send((id, reply));
             }
         }
     }
@@ -276,5 +252,31 @@ mod tests {
             text: "x = 1 + 1".into(),
         }];
         assert!(execute_task(&task, ModuleRegistry::new()).success);
+    }
+
+    #[test]
+    fn invoke_for_missing_instance_requeues() {
+        let (etx, erx) = crossbeam::channel::unbounded();
+        let h = spawn_worker(WorkerId(3), ModuleRegistry::new(), etx);
+        let call = vine_core::task::FunctionCall::new(
+            vine_core::ids::InvocationId(9),
+            "ghostlib",
+            "f",
+            vec![],
+        );
+        h.tx.send(ManagerToWorker::Invoke {
+            instance: LibraryInstanceId(404),
+            call: call.clone(),
+        })
+        .unwrap();
+        let (worker, msg) = erx.recv().unwrap();
+        assert_eq!(worker, WorkerId(3));
+        assert_eq!(
+            msg,
+            WorkerToManager::Requeue {
+                unit: WorkUnit::Call(call)
+            }
+        );
+        h.tx.send(ManagerToWorker::Shutdown).unwrap();
     }
 }

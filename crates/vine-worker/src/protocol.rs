@@ -1,93 +1,8 @@
-//! The worker ↔ library protocol (paper §3.4).
+//! The worker ↔ library protocol — re-exported from [`vine_proto`].
 //!
-//! 1. The worker forks/execs the library.
-//! 2. The library boots, runs all context-setup functions, sends
-//!    [`LibraryToWorker::Ready`], and waits.
-//! 3. The worker receives an invocation from the manager, creates a
-//!    sandbox, and sends [`WorkerToLibrary::Invoke`].
-//! 4. The library executes (directly or in a fork), serializes the result
-//!    into the sandbox, and sends [`LibraryToWorker::ResultReady`]. The
-//!    worker returns the result file to the manager and destroys the
-//!    sandbox.
+//! The message types moved to `vine-proto` when the live runtime gained a
+//! transport-agnostic protocol core: the same §3.4 messages now flow over
+//! in-process channels or framed TCP without change. This module remains
+//! so existing `vine_worker::protocol` paths keep working.
 
-use serde::{Deserialize, Serialize};
-use vine_core::ids::InvocationId;
-use vine_core::task::ExecMode;
-
-/// Messages a worker sends to a library daemon.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub enum WorkerToLibrary {
-    /// Execute an invocation (§3.4 step 3): metadata, arguments, and the
-    /// sandbox path.
-    Invoke {
-        id: InvocationId,
-        function: String,
-        args_blob: Vec<u8>,
-        sandbox: String,
-        mode: ExecMode,
-    },
-    /// Terminate the daemon (library eviction, worker shutdown).
-    Shutdown,
-}
-
-/// Messages a library daemon sends to its worker.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub enum LibraryToWorker {
-    /// Context setup complete; ready to execute invocations (§3.4 step 2).
-    Ready,
-    /// Context setup failed; the library is unusable.
-    StartupFailed { error: String },
-    /// An invocation finished; its result file is in the sandbox
-    /// (§3.4 step 4).
-    ResultReady {
-        id: InvocationId,
-        /// Serialized result on success, error text on failure. An
-        /// invocation failure does not kill the library.
-        result: Result<Vec<u8>, String>,
-    },
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn messages_roundtrip_through_serde() {
-        // the live runtime moves these across thread channels; the sim logs
-        // them: both rely on clean serde round-trips
-        let msgs = vec![
-            WorkerToLibrary::Invoke {
-                id: InvocationId(7),
-                function: "infer".into(),
-                args_blob: vec![1, 2, 3],
-                sandbox: "sandbox/i7".into(),
-                mode: ExecMode::Fork,
-            },
-            WorkerToLibrary::Shutdown,
-        ];
-        for m in msgs {
-            let json = serde_json::to_string(&m).unwrap();
-            let back: WorkerToLibrary = serde_json::from_str(&json).unwrap();
-            assert_eq!(back, m);
-        }
-        let replies = vec![
-            LibraryToWorker::Ready,
-            LibraryToWorker::StartupFailed {
-                error: "missing module nn".into(),
-            },
-            LibraryToWorker::ResultReady {
-                id: InvocationId(7),
-                result: Ok(vec![9]),
-            },
-            LibraryToWorker::ResultReady {
-                id: InvocationId(8),
-                result: Err("division by zero".into()),
-            },
-        ];
-        for m in replies {
-            let json = serde_json::to_string(&m).unwrap();
-            let back: LibraryToWorker = serde_json::from_str(&json).unwrap();
-            assert_eq!(back, m);
-        }
-    }
-}
+pub use vine_proto::library::{LibraryToWorker, WorkerToLibrary};

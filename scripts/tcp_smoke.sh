@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# TCP loopback smoke test: the same small LNNI workload run (a) in one
+# process over the in-proc transport and (b) as a manager process plus two
+# worker OS processes over framed TCP must produce byte-identical digests.
+# A second round kills one worker mid-run and checks the manager observes
+# the disconnect, requeues the in-flight invocations onto the survivor,
+# and still completes every unit successfully.
+#
+# Usage: scripts/tcp_smoke.sh [path-to-repro]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPRO="${1:-./target/release/repro}"
+[ -x "$REPRO" ] || { echo "repro binary not found at $REPRO (build with: cargo build --release)" >&2; exit 2; }
+
+WORKERS=2
+N=120
+PORT=$((20000 + RANDOM % 20000))
+ADDR="127.0.0.1:$PORT"
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+wait_for_listen() {
+    # the manager prints its bound address to stderr once listening
+    for _ in $(seq 1 100); do
+        grep -q "listening" "$1" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "manager never started listening" >&2
+    return 1
+}
+
+# ---- reference: the whole run in one process --------------------------
+"$REPRO" serve --local --workers $WORKERS --n $N > "$tmp/local.txt" 2>/dev/null
+
+# ---- round 1: manager + two worker processes over TCP -----------------
+"$REPRO" serve --listen "$ADDR" --workers $WORKERS --n $N \
+    > "$tmp/tcp.txt" 2> "$tmp/tcp.err" &
+manager=$!
+pids+=("$manager")
+wait_for_listen "$tmp/tcp.err"
+"$REPRO" join "$ADDR" & pids+=("$!")
+"$REPRO" join "$ADDR" & pids+=("$!")
+wait "$manager"
+
+cmp "$tmp/local.txt" "$tmp/tcp.txt" || {
+    echo "TCP digest differs from in-process digest" >&2
+    diff "$tmp/local.txt" "$tmp/tcp.txt" | head >&2 || true
+    exit 1
+}
+echo "tcp smoke: OK (2-process TCP run byte-identical to in-process run)"
+
+# ---- round 2: kill one worker mid-run, survivor finishes everything ---
+PORT=$((PORT + 1))
+ADDR="127.0.0.1:$PORT"
+"$REPRO" serve --listen "$ADDR" --workers $WORKERS --n $N \
+    > "$tmp/kill.txt" 2> "$tmp/kill.err" &
+manager=$!
+pids+=("$manager")
+wait_for_listen "$tmp/kill.err"
+"$REPRO" join "$ADDR" & pids+=("$!")
+"$REPRO" join "$ADDR" &
+victim=$!
+pids+=("$victim")
+# let the run get going, then kill one worker process outright
+sleep 1
+kill -9 "$victim" 2>/dev/null || true
+wait "$manager"
+
+# the run must still complete every invocation with the same results
+cmp "$tmp/local.txt" "$tmp/kill.txt" || {
+    echo "post-kill digest differs from in-process digest" >&2
+    diff "$tmp/local.txt" "$tmp/kill.txt" | head >&2 || true
+    exit 1
+}
+echo "tcp smoke: OK (worker killed mid-run; in-flight work requeued, results identical)"

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification pass: release build, whole-workspace tests, clippy on
-# every target with warnings denied, a formatting check, and a determinism
-# smoke run: the repro sweep must be byte-identical with and without
-# cross-simulation parallelism.
+# every target with warnings denied, a formatting check, a determinism
+# smoke run (the repro sweep must be byte-identical with and without
+# cross-simulation parallelism), and the TCP loopback smoke (a multi-
+# process run over framed sockets must byte-match the in-process run,
+# with and without a worker killed mid-run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,3 +23,5 @@ cmp "$seq_out" "$par_out" || {
     exit 1
 }
 echo "repro --jobs determinism: OK (byte-identical at --jobs 1 and 4)"
+
+./scripts/tcp_smoke.sh ./target/release/repro

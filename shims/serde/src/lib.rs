@@ -193,6 +193,9 @@ impl Deserialize for f64 {
             Value::F64(x) => Ok(*x),
             Value::I64(n) => Ok(*n as f64),
             Value::U64(n) => Ok(*n as f64),
+            // large whole-valued floats print without an exponent and
+            // re-parse as integers wider than u64; still floats to us
+            Value::U128(n) => Ok(*n as f64),
             other => Err(DeError(format!("expected float, got {other:?}"))),
         }
     }
