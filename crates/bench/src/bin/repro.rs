@@ -7,6 +7,7 @@
 //! repro table2 --transport tcp       # + live loopback overhead rows
 //! repro perf [--sim]
 //! repro lint [file.vine ...]
+//! repro analyze [file.vine ...] [--check]   # context-discovery report
 //! repro serve --listen ADDR [--workers N] [--n N]   # live TCP manager
 //! repro serve --local [--workers N] [--n N]         # same run, in-proc
 //! repro join ADDR                                   # live TCP worker
@@ -155,10 +156,178 @@ fn run_lint(paths: &[String]) -> ! {
     std::process::exit(if errors > 0 { 1 } else { 0 });
 }
 
+/// `repro analyze [paths...] [--check]` — run both context-discovery
+/// passes (syntactic `vine_lang::autocontext` and dataflow `vine_flow`)
+/// over vinescript modules and report, per target, what each pass hoists
+/// into `context_setup`, which statements stay per-invocation residue,
+/// and the effect summaries driving the decisions. With no paths,
+/// analyzes the embedded naive LNNI user module, ExaMol, and every
+/// `examples/vinescript/*.vine` file. For files, every top-level `def`
+/// is treated as a work function. `--check` exits 1 on analysis errors.
+fn run_analyze(args: &[String]) -> ! {
+    use vine_lang::ast::StmtKind;
+
+    let mut check = false;
+    let mut paths: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--check" => check = true,
+            other if other.starts_with("--") => {
+                eprintln!("analyze: unknown flag '{other}'");
+                std::process::exit(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+
+    // (origin, source, explicit work set — None means every top-level def)
+    let mut targets: Vec<(String, String, Option<Vec<String>>)> = Vec::new();
+    if paths.is_empty() {
+        targets.push((
+            "lnni-user".into(),
+            vine_apps::lnni::LNNI_USER_SOURCE.to_string(),
+            Some(vec!["classify".into(), "remaining".into()]),
+        ));
+        targets.push((
+            "examol".into(),
+            vine_apps::examol::EXAMOL_SOURCE.to_string(),
+            Some(vec!["simulate".into(), "train".into(), "infer".into()]),
+        ));
+        if let Ok(entries) = std::fs::read_dir("examples/vinescript") {
+            let mut files: Vec<_> = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "vine"))
+                .collect();
+            files.sort();
+            for p in files {
+                match std::fs::read_to_string(&p) {
+                    Ok(src) => targets.push((p.display().to_string(), src, None)),
+                    Err(e) => {
+                        eprintln!("{}: {e}", p.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    } else {
+        for p in &paths {
+            match std::fs::read_to_string(p) {
+                Ok(src) => targets.push((p.clone(), src, None)),
+                Err(e) => {
+                    eprintln!("{p}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for (origin, src, explicit_work) in &targets {
+        println!("== {origin} ==");
+        let prog = match vine_lang::parse(src) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("  parse error: {e}\n");
+                failures += 1;
+                continue;
+            }
+        };
+        let work: Vec<String> = match explicit_work {
+            Some(w) => w.clone(),
+            None => prog
+                .iter()
+                .filter_map(|s| match &s.kind {
+                    StmtKind::FuncDef(f) => Some(f.name.clone()),
+                    _ => None,
+                })
+                .collect(),
+        };
+        let work_refs: Vec<&str> = work.iter().map(String::as_str).collect();
+        // module-level statements eligible for hoisting (defs travel as code)
+        let candidates = prog
+            .iter()
+            .filter(|s| !matches!(s.kind, StmtKind::FuncDef(_)))
+            .count();
+        println!(
+            "  work functions: {}",
+            if work.is_empty() {
+                "(none)".into()
+            } else {
+                work.join(", ")
+            }
+        );
+
+        let syn = vine_lang::autocontext::discover(src, &work_refs);
+        let flow = vine_flow::discover(src, &work_refs);
+        let syn_hoisted = match &syn {
+            Ok(c) => {
+                let h = candidates - c.residue.len();
+                println!(
+                    "  syntactic: hoisted {h}/{candidates}, residue {}",
+                    c.residue.len()
+                );
+                Some(h)
+            }
+            Err(e) => {
+                println!("  syntactic: error: {e}");
+                failures += 1;
+                None
+            }
+        };
+        match &flow {
+            Ok(f) => {
+                let h = f.hoisted.len();
+                let delta = syn_hoisted
+                    .map(|s| format!("  [{:+} vs syntactic]", h as i64 - s as i64))
+                    .unwrap_or_default();
+                println!(
+                    "  flow:      hoisted {h}/{candidates} ({} folded), residue {}{delta}",
+                    f.folded,
+                    f.context.residue.len()
+                );
+                let multiline = |tag: &str, text: &str| {
+                    for (i, line) in text.lines().enumerate() {
+                        if i == 0 {
+                            println!("    {tag} {line}");
+                        } else {
+                            println!("    {}{line}", " ".repeat(tag.len() + 1));
+                        }
+                    }
+                };
+                for st in &f.hoisted {
+                    match &st.folded_from {
+                        Some(orig) => multiline("fold: ", &format!("{}  <-  {orig}", st.source)),
+                        None => multiline("hoist:", &st.source),
+                    }
+                }
+                for r in &f.context.residue {
+                    multiline("stays:", r);
+                }
+                if !f.context.provides.is_empty() {
+                    println!("  provides: {}", f.context.provides.join(", "));
+                }
+                for (name, eff) in &f.effects {
+                    println!("  effect {name}: {}", eff.describe());
+                }
+            }
+            Err(e) => {
+                println!("  flow:      error: {e}");
+                failures += 1;
+            }
+        }
+        println!();
+    }
+    std::process::exit(if check && failures > 0 { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("lint") {
         run_lint(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        run_analyze(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("serve") {
         run_serve(&args[1..]);
@@ -217,6 +386,7 @@ fn main() {
                 println!(
                     "usage: repro [all | <id>...] [--scale S] [--json] [--jobs N] [--transport inproc|tcp]\n\
                      \x20      repro lint [file.vine ...]\n\
+                     \x20      repro analyze [file.vine ...] [--check]\n\
                      \x20      repro serve [--listen ADDR | --local] [--workers N] [--n N]\n\
                      \x20      repro join ADDR\n\
                      experiments: {}\n\

@@ -1,0 +1,59 @@
+//! Acceptance pin for `repro analyze`: on the naive LNNI user module the
+//! dataflow pass must hoist strictly more than the syntactic pass (the
+//! `capacity = served + 4096` fold is exactly the case syntax cannot
+//! see), and the CLI must print that delta.
+
+use vine_lang::ast::StmtKind;
+
+const WORK: [&str; 2] = ["classify", "remaining"];
+
+fn module_statement_count(src: &str) -> usize {
+    vine_lang::parse(src)
+        .unwrap()
+        .iter()
+        .filter(|s| !matches!(s.kind, StmtKind::FuncDef(_)))
+        .count()
+}
+
+#[test]
+fn flow_hoists_strictly_more_than_syntactic_on_lnni_user() {
+    let src = vine_apps::lnni::LNNI_USER_SOURCE;
+    let candidates = module_statement_count(src);
+    let syn = vine_lang::autocontext::discover(src, &WORK).unwrap();
+    let flow = vine_flow::discover(src, &WORK).unwrap();
+    let syn_hoisted = candidates - syn.residue.len();
+    assert!(
+        flow.hoisted.len() > syn_hoisted,
+        "flow hoisted {} vs syntactic {syn_hoisted}",
+        flow.hoisted.len()
+    );
+    // the margin comes from constant folding through the mutated counter
+    assert!(flow.folded >= 1, "expected at least one folded statement");
+    assert!(flow.context.provides.contains(&"capacity".to_string()));
+    assert!(!flow.context.provides.contains(&"served".to_string()));
+}
+
+#[test]
+fn repro_analyze_prints_positive_delta_and_checks_clean() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["analyze", "--check"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run repro analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "repro analyze --check failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("== lnni-user =="), "{stdout}");
+    assert!(stdout.contains("== examol =="), "{stdout}");
+    // the lnni-user section must report a strictly positive delta
+    let lnni = stdout.split("== lnni-user ==").nth(1).unwrap();
+    let section = lnni.split("\n\n").next().unwrap();
+    assert!(
+        section.contains("[+"),
+        "no positive delta printed:\n{section}"
+    );
+    assert!(section.contains("fold:"), "no fold annotation:\n{section}");
+}

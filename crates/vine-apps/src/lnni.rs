@@ -66,6 +66,36 @@ def infer(first_image, count) {
 }
 "#;
 
+/// The same application as a user would *naively* write it (the paper's §6
+/// future-work premise): expensive setup inline at module level, no
+/// hand-written `context_setup`, mutable serving state mixed in. This is
+/// the input to context discovery — `vine_lang::autocontext::discover`
+/// (syntactic) and `vine_flow::discover` (dataflow) both split it, and
+/// `repro analyze` reports how much each manages to hoist.
+pub const LNNI_USER_SOURCE: &str = r#"
+import nn
+
+model_layers = 3
+model_dim = 24
+model = nn.load_model(model_layers, model_dim)
+labels = []
+for c in range(model_layers) {
+    push(labels, "class_" + str(c))
+}
+served = 0
+capacity = served + 4096
+
+def classify(img) {
+    global served
+    served = served + 1
+    return labels[nn.forward(model, img) % len(labels)]
+}
+
+def remaining() {
+    return capacity - served
+}
+"#;
+
 /// How L3 libraries are sized (the §3.5.2 strategy choice; an ablation
 /// target in DESIGN.md).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -152,6 +152,17 @@ impl App {
                         Arg::Val(_) => None,
                     })
                     .collect(),
+                // literal arguments fingerprint as type:value so the V036
+                // invariant-argument lint can spot shared input data being
+                // re-serialized into every task
+                args: n
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        Arg::Val(v) => Some(format!("{}:{v}", v.type_name())),
+                        Arg::ResultOf(_) => None,
+                    })
+                    .collect(),
             })
             .collect();
         let diags = vine_lint::lint_dag(&nodes, &self.runtime.library_arities());

@@ -1,0 +1,327 @@
+//! Basic-block control-flow graph for vinescript statement lists.
+//!
+//! A function body (or a module's top level) lowers to a graph of
+//! [`Block`]s: straight-line leaf statements ended by a [`Terminator`].
+//! Structured control flow desugars the classic way — `if`/`elif` chains
+//! into branch diamonds, `while` into a head-test loop, `for` into a
+//! [`Terminator::ForNext`] head that binds the loop variable on the body
+//! edge — and `break`/`continue` resolve against an explicit loop stack.
+//!
+//! Statements that lexically follow a `return`/`break`/`continue` in the
+//! same block can never execute; lowering records their spans in
+//! [`Cfg::unreachable`] so the V018 lint reports them without re-walking.
+
+use vine_lang::ast::{Expr, Span, Stmt, StmtKind};
+
+pub type BlockId = usize;
+
+/// How control leaves a block.
+#[derive(Clone, Debug)]
+pub enum Terminator {
+    /// Unconditional fall-through.
+    Goto(BlockId),
+    /// Two-way branch on `cond` (evaluated after the block's statements).
+    Branch {
+        cond: Expr,
+        /// Span of the `if`/`while` statement the condition came from.
+        span: Span,
+        then_blk: BlockId,
+        else_blk: BlockId,
+    },
+    /// `for` loop head: take the next element of `iter` into `var` and
+    /// enter `body`, or leave via `exit` when exhausted. `var` is assigned
+    /// on the body edge (and holds the last element after a non-empty
+    /// loop), so analyses treat it as written by this terminator.
+    ForNext {
+        var: String,
+        iter: Expr,
+        body: BlockId,
+        exit: BlockId,
+    },
+    /// Function return (module-level `return` is a parse error upstream).
+    Return(Option<Expr>),
+    /// Falling off the end of the lowered statement list.
+    Exit,
+}
+
+/// Straight-line statements plus the terminator that leaves them.
+/// `stmts` holds only leaf kinds (assign, expr, import, global, funcdef);
+/// control flow lives exclusively in terminators.
+#[derive(Clone, Debug)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub term: Terminator,
+}
+
+/// The lowered graph. Block 0 is always the entry.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub blocks: Vec<Block>,
+    /// Spans of statements that lexically follow a `return`, `break` or
+    /// `continue` and therefore can never execute.
+    pub unreachable: Vec<Span>,
+}
+
+impl Cfg {
+    pub const ENTRY: BlockId = 0;
+
+    /// Lower a statement list (function body or module top level).
+    pub fn lower(stmts: &[Stmt]) -> Cfg {
+        let mut lw = Lowerer {
+            blocks: Vec::new(),
+            unreachable: Vec::new(),
+        };
+        let entry = lw.new_block();
+        debug_assert_eq!(entry, Self::ENTRY);
+        // loop stack is empty at the top level: a stray break/continue is a
+        // runtime error upstream; lowering routes it to Exit
+        lw.lower_into(stmts, entry, &mut Vec::new());
+        Cfg {
+            blocks: lw.blocks,
+            unreachable: lw.unreachable,
+        }
+    }
+
+    /// Successor block ids of `id`.
+    pub fn succs(&self, id: BlockId) -> Vec<BlockId> {
+        match &self.blocks[id].term {
+            Terminator::Goto(t) => vec![*t],
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
+            Terminator::ForNext { body, exit, .. } => vec![*body, *exit],
+            Terminator::Return(_) | Terminator::Exit => vec![],
+        }
+    }
+
+    /// Predecessor lists for every block.
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in 0..self.blocks.len() {
+            for s in self.succs(b) {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![Self::ENTRY];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            stack.extend(self.succs(b));
+        }
+        seen
+    }
+}
+
+struct Lowerer {
+    blocks: Vec<Block>,
+    unreachable: Vec<Span>,
+}
+
+/// (continue target, break target) for the innermost enclosing loop.
+type LoopStack = Vec<(BlockId, BlockId)>;
+
+impl Lowerer {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block {
+            stmts: Vec::new(),
+            term: Terminator::Exit,
+        });
+        self.blocks.len() - 1
+    }
+
+    fn set_term(&mut self, id: BlockId, term: Terminator) {
+        self.blocks[id].term = term;
+    }
+
+    /// Lower `stmts` starting in block `cur`; return the block where
+    /// control continues afterwards, or `None` if every path diverged
+    /// (return/break/continue). Statements after a divergence are recorded
+    /// as unreachable and not lowered.
+    fn lower_into(
+        &mut self,
+        stmts: &[Stmt],
+        mut cur: BlockId,
+        loops: &mut LoopStack,
+    ) -> Option<BlockId> {
+        let mut it = stmts.iter();
+        while let Some(s) = it.next() {
+            match &s.kind {
+                StmtKind::If(arms, els) => {
+                    let join = self.new_block();
+                    let mut cond_blk = cur;
+                    for (i, (cond, body)) in arms.iter().enumerate() {
+                        let then_blk = self.new_block();
+                        let last_arm = i + 1 == arms.len();
+                        let else_blk = if last_arm && els.is_none() {
+                            join
+                        } else {
+                            self.new_block()
+                        };
+                        self.set_term(
+                            cond_blk,
+                            Terminator::Branch {
+                                cond: cond.clone(),
+                                span: s.span,
+                                then_blk,
+                                else_blk,
+                            },
+                        );
+                        if let Some(end) = self.lower_into(body, then_blk, loops) {
+                            self.set_term(end, Terminator::Goto(join));
+                        }
+                        cond_blk = else_blk;
+                    }
+                    if let Some(body) = els {
+                        if let Some(end) = self.lower_into(body, cond_blk, loops) {
+                            self.set_term(end, Terminator::Goto(join));
+                        }
+                    }
+                    cur = join;
+                }
+                StmtKind::While(cond, body) => {
+                    let head = self.new_block();
+                    let body_blk = self.new_block();
+                    let exit = self.new_block();
+                    self.set_term(cur, Terminator::Goto(head));
+                    self.set_term(
+                        head,
+                        Terminator::Branch {
+                            cond: cond.clone(),
+                            span: s.span,
+                            then_blk: body_blk,
+                            else_blk: exit,
+                        },
+                    );
+                    loops.push((head, exit));
+                    if let Some(end) = self.lower_into(body, body_blk, loops) {
+                        self.set_term(end, Terminator::Goto(head));
+                    }
+                    loops.pop();
+                    cur = exit;
+                }
+                StmtKind::For(var, iter, body) => {
+                    let head = self.new_block();
+                    let body_blk = self.new_block();
+                    let exit = self.new_block();
+                    self.set_term(cur, Terminator::Goto(head));
+                    self.set_term(
+                        head,
+                        Terminator::ForNext {
+                            var: var.clone(),
+                            iter: iter.clone(),
+                            body: body_blk,
+                            exit,
+                        },
+                    );
+                    loops.push((head, exit));
+                    if let Some(end) = self.lower_into(body, body_blk, loops) {
+                        self.set_term(end, Terminator::Goto(head));
+                    }
+                    loops.pop();
+                    cur = exit;
+                }
+                StmtKind::Return(e) => {
+                    self.set_term(cur, Terminator::Return(e.clone()));
+                    self.mark_unreachable(it);
+                    return None;
+                }
+                StmtKind::Break => {
+                    let target = loops.last().map(|(_, brk)| *brk);
+                    match target {
+                        Some(t) => self.set_term(cur, Terminator::Goto(t)),
+                        None => self.set_term(cur, Terminator::Exit),
+                    }
+                    self.mark_unreachable(it);
+                    return None;
+                }
+                StmtKind::Continue => {
+                    let target = loops.last().map(|(cont, _)| *cont);
+                    match target {
+                        Some(t) => self.set_term(cur, Terminator::Goto(t)),
+                        None => self.set_term(cur, Terminator::Exit),
+                    }
+                    self.mark_unreachable(it);
+                    return None;
+                }
+                _ => self.blocks[cur].stmts.push(s.clone()),
+            }
+        }
+        Some(cur)
+    }
+
+    fn mark_unreachable(&mut self, rest: std::slice::Iter<'_, Stmt>) {
+        if let Some(next) = rest.as_slice().first() {
+            self.unreachable.push(next.span);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower(src: &str) -> Cfg {
+        Cfg::lower(&vine_lang::parse(src).unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = lower("a = 1\nb = a + 1");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].stmts.len(), 2);
+        assert!(matches!(cfg.blocks[0].term, Terminator::Exit));
+        assert!(cfg.unreachable.is_empty());
+    }
+
+    #[test]
+    fn if_else_forms_diamond() {
+        let cfg = lower("a = 1\nif a > 0 { b = 1 } else { b = 2 }\nc = b");
+        // entry, join, then, else — all reachable, both arms goto join
+        let reach = cfg.reachable();
+        assert!(reach.iter().all(|r| *r));
+        let succ_entry = cfg.succs(Cfg::ENTRY);
+        assert_eq!(succ_entry.len(), 2);
+    }
+
+    #[test]
+    fn while_loop_back_edge() {
+        let cfg = lower("i = 0\nwhile i < 3 { i = i + 1 }\ndone = i");
+        // some block must have the head as successor twice over the graph
+        let preds = cfg.preds();
+        assert!(preds.iter().any(|p| p.len() >= 2), "loop head has 2 preds");
+    }
+
+    #[test]
+    fn break_targets_loop_exit_and_marks_unreachable() {
+        let cfg = lower("while true { break\nx = 1 }\ny = 2");
+        assert_eq!(cfg.unreachable.len(), 1);
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let src = "def f() { return 1\nx = 2 }";
+        let prog = vine_lang::parse(src).unwrap();
+        let StmtKind::FuncDef(f) = &prog[0].kind else {
+            panic!()
+        };
+        let cfg = Cfg::lower(&f.body);
+        assert_eq!(cfg.unreachable.len(), 1);
+    }
+
+    #[test]
+    fn for_loop_binds_var_on_body_edge() {
+        let cfg = lower("for i in range(3) { x = i }");
+        let has_fornext = cfg
+            .blocks
+            .iter()
+            .any(|b| matches!(&b.term, Terminator::ForNext { var, .. } if var == "i"));
+        assert!(has_fornext);
+    }
+}

@@ -51,7 +51,7 @@ pub struct DiscoveredContext {
 }
 
 /// Names a statement defines at module level.
-pub(crate) fn defined_names(stmt: &Stmt) -> Vec<String> {
+pub fn defined_names(stmt: &Stmt) -> Vec<String> {
     match &stmt.kind {
         StmtKind::Import(name) => vec![name.clone()],
         StmtKind::FuncDef(f) => vec![f.name.clone()],
@@ -61,7 +61,7 @@ pub(crate) fn defined_names(stmt: &Stmt) -> Vec<String> {
 }
 
 /// Free variable names an expression reads.
-fn expr_reads(e: &Expr, out: &mut BTreeSet<String>) {
+pub fn expr_reads(e: &Expr, out: &mut BTreeSet<String>) {
     walk_exprs_in(e, &mut |x| {
         if let Expr::Var(name) = x {
             out.insert(name.clone());
@@ -70,7 +70,7 @@ fn expr_reads(e: &Expr, out: &mut BTreeSet<String>) {
 }
 
 /// Names a statement (transitively, through nested blocks) reads.
-pub(crate) fn stmt_reads(stmt: &Stmt, out: &mut BTreeSet<String>) {
+pub fn stmt_reads(stmt: &Stmt, out: &mut BTreeSet<String>) {
     match &stmt.kind {
         StmtKind::Import(_) | StmtKind::Break | StmtKind::Continue | StmtKind::Global(_) => {}
         StmtKind::FuncDef(f) => {
@@ -123,7 +123,7 @@ pub(crate) fn stmt_reads(stmt: &Stmt, out: &mut BTreeSet<String>) {
 
 /// Global names a function writes (assignments to names it declared
 /// `global`, directly or in nested blocks).
-pub(crate) fn function_global_writes(def: &FuncDef) -> BTreeSet<String> {
+pub fn function_global_writes(def: &FuncDef) -> BTreeSet<String> {
     let mut declared = BTreeSet::new();
     crate::ast::walk_stmts(&def.body, &mut |s| {
         if let StmtKind::Global(names) = &s.kind {

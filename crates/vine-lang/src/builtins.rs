@@ -24,6 +24,37 @@ pub fn is_builtin(name: &str) -> bool {
     BUILTIN_NAMES.contains(&name)
 }
 
+/// What calling a builtin can do, for static analysis. The dataflow engine
+/// (`vine-flow`) consults this table so pure builtins (`len`, `range`,
+/// string/math ops) do not count as opaque effectful calls that would block
+/// hoisting a statement into reusable context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuiltinEffect {
+    /// Deterministic function of its arguments; touches nothing else.
+    Pure,
+    /// Mutates its first argument in place (`push`, `pop`) but nothing
+    /// beyond it — the effect is confined to objects the caller handed in.
+    MutatesArg,
+    /// Produces observable output (`print`); reordering it past other
+    /// statements changes what the user sees.
+    Io,
+    /// Executes dynamic code (`eval`/`exec`): anything can happen — the ⊤
+    /// of the effect lattice. Statements reaching this never hoist.
+    Dynamic,
+}
+
+/// Effect classification of a builtin, or `None` when `name` is not a
+/// builtin at all. Must stay in sync with [`BUILTIN_NAMES`] (a test checks).
+pub fn builtin_effect(name: &str) -> Option<BuiltinEffect> {
+    Some(match name {
+        "push" | "pop" => BuiltinEffect::MutatesArg,
+        "print" => BuiltinEffect::Io,
+        "eval" | "exec" => BuiltinEffect::Dynamic,
+        n if is_builtin(n) => BuiltinEffect::Pure,
+        _ => return None,
+    })
+}
+
 fn arity(name: &str, args: &[Value], want: usize) -> Result<()> {
     if args.len() != want {
         return Err(VineError::Lang(format!(
@@ -516,5 +547,22 @@ mod tests {
         }
         assert!(!is_builtin("model"));
         assert!(!is_builtin("context_setup"));
+    }
+
+    #[test]
+    fn effect_table_covers_every_builtin() {
+        for name in BUILTIN_NAMES {
+            assert!(
+                builtin_effect(name).is_some(),
+                "'{name}' has no effect classification"
+            );
+        }
+        assert_eq!(builtin_effect("len"), Some(BuiltinEffect::Pure));
+        assert_eq!(builtin_effect("range"), Some(BuiltinEffect::Pure));
+        assert_eq!(builtin_effect("push"), Some(BuiltinEffect::MutatesArg));
+        assert_eq!(builtin_effect("print"), Some(BuiltinEffect::Io));
+        assert_eq!(builtin_effect("eval"), Some(BuiltinEffect::Dynamic));
+        assert_eq!(builtin_effect("exec"), Some(BuiltinEffect::Dynamic));
+        assert_eq!(builtin_effect("context_setup"), None);
     }
 }

@@ -116,6 +116,12 @@ impl Interp {
         self.globals.borrow_mut().insert(name.into(), value);
     }
 
+    /// Every bound global name, sorted. Differential tests use this to
+    /// compare whole namespaces between execution variants.
+    pub fn global_names(&self) -> Vec<String> {
+        self.globals.borrow().keys().cloned().collect()
+    }
+
     /// Call a function bound in globals with the given arguments.
     pub fn call_global(&mut self, name: &str, args: &[Value]) -> Result<Value> {
         let f = self
@@ -428,17 +434,7 @@ impl Interp {
             }
             Expr::Unary(op, inner) => {
                 let v = self.eval(inner, frame)?;
-                match op {
-                    UnOp::Neg => match v {
-                        Value::Int(x) => Ok(Value::Int(-x)),
-                        Value::Float(x) => Ok(Value::Float(-x)),
-                        other => Err(VineError::Lang(format!(
-                            "cannot negate {}",
-                            other.type_name()
-                        ))),
-                    },
-                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
-                }
+                unary_op(*op, &v)
             }
             Expr::Binary(op, lhs, rhs) => {
                 // short-circuit logical operators
@@ -558,7 +554,30 @@ impl Interp {
     }
 }
 
-fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+/// Apply a unary operator to an already-evaluated value. Public for the
+/// same reason as [`binary_op`]: constant folding must share the runtime's
+/// exact semantics.
+pub fn unary_op(op: UnOp, v: &Value) -> Result<Value> {
+    match op {
+        UnOp::Neg => match v {
+            Value::Int(x) => Ok(Value::Int(x.checked_neg().ok_or_else(overflow)?)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(VineError::Lang(format!(
+                "cannot negate {}",
+                other.type_name()
+            ))),
+        },
+        UnOp::Not => Ok(Value::Bool(!v.truthy())),
+    }
+}
+
+/// Apply a (non-short-circuit) binary operator to two already-evaluated
+/// values. Public so static analyses (vine-flow constant propagation) can
+/// fold operators with *exactly* the runtime semantics — same overflow
+/// checks, same division rules — guaranteeing fold-then-run never diverges
+/// from run. `And`/`Or` are short-circuited in `eval` and must not be
+/// passed here.
+pub fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     use BinOp::*;
     use Value::*;
     match op {

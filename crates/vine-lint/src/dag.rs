@@ -20,10 +20,19 @@ pub struct DagNode {
     pub argc: usize,
     /// Ids of nodes whose results feed this one.
     pub deps: Vec<u64>,
+    /// Per-position fingerprint of each literal argument (`None` for a
+    /// result-reference or when the builder does not track values). Feeds
+    /// the V036 invariant-argument lint; leave empty to opt out.
+    pub args: Vec<Option<String>>,
 }
 
-/// V033 + V034 + V035 for one invocation graph. `arities` maps library →
-/// function → parameter count for everything installed on the runtime.
+/// Minimum number of same-target invocations before V036 considers an
+/// identical literal argument a pattern rather than a coincidence.
+const INVARIANT_ARG_THRESHOLD: usize = 8;
+
+/// V033 + V034 + V035 + V036 for one invocation graph. `arities` maps
+/// library → function → parameter count for everything installed on the
+/// runtime.
 pub fn lint_dag(
     nodes: &[DagNode],
     arities: &BTreeMap<String, BTreeMap<String, usize>>,
@@ -137,5 +146,55 @@ pub fn lint_dag(
             .with_help("no node on the cycle can ever become ready; the app would hang"),
         );
     }
+    invariant_arguments(nodes, &mut diags);
     diags
+}
+
+// --- V036: invariant-argument ---
+
+/// An argument position that carries the *same literal value* into every
+/// one of many invocations of the same function is shared input data
+/// masquerading as a per-call argument: the paper's context discovery
+/// (§3.2) would hoist it once into the library context instead of
+/// serializing it into every task.
+fn invariant_arguments(nodes: &[DagNode], diags: &mut Vec<Diagnostic>) {
+    let mut by_target: BTreeMap<(&str, &str), Vec<&DagNode>> = BTreeMap::new();
+    for n in nodes {
+        by_target
+            .entry((n.library.as_str(), n.function.as_str()))
+            .or_default()
+            .push(n);
+    }
+    for ((lib, func), group) in by_target {
+        if group.len() < INVARIANT_ARG_THRESHOLD {
+            continue;
+        }
+        let positions = group.iter().map(|n| n.args.len()).min().unwrap_or(0);
+        for p in 0..positions {
+            let Some(Some(first)) = group[0].args.get(p) else {
+                continue;
+            };
+            if group
+                .iter()
+                .all(|n| n.args.get(p).is_some_and(|a| a.as_deref() == Some(first)))
+            {
+                diags.push(
+                    Diagnostic::warning(
+                        "V036",
+                        "invariant-argument",
+                        format!(
+                            "argument {p} of `{lib}.{func}` is the same literal across \
+                             all {} invocations",
+                            group.len()
+                        ),
+                    )
+                    .with_help(
+                        "an invocation-invariant value serializes into every task; move \
+                         it into the library context (a module-level binding the setup \
+                         publishes) and drop the parameter",
+                    ),
+                );
+            }
+        }
+    }
 }

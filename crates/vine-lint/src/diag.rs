@@ -94,14 +94,19 @@ impl Diagnostic {
                 let pad = " ".repeat(gutter.len());
                 out.push_str(&format!("{pad} |\n"));
                 out.push_str(&format!("{gutter} | {line_text}\n"));
-                // carets under the span, clipped to this line
-                let start = col as usize - 1;
+                // carets under the span, clamped to the excerpted line; a
+                // span continuing past the newline gets an explicit `...`
+                // instead of silently under-marking
+                let start = (col as usize - 1).min(line_text.len());
                 let span_len = (span.end - span.start) as usize;
-                let width = span_len.min(line_text.len().saturating_sub(start)).max(1);
+                let on_line = line_text.len() - start;
+                let crosses_newline = span_len > on_line;
+                let width = span_len.min(on_line).max(1);
                 out.push_str(&format!(
-                    "{pad} | {}{}\n",
+                    "{pad} | {}{}{}\n",
                     " ".repeat(start),
-                    "^".repeat(width)
+                    "^".repeat(width),
+                    if crosses_newline { "..." } else { "" }
                 ));
                 if let Some(help) = &self.help {
                     out.push_str(&format!("{pad} = help: {help}\n"));
@@ -224,6 +229,21 @@ mod tests {
         assert!(r.contains("2 | y = missing + 2"), "{r}");
         assert!(r.contains("^^^^^^^^^^^^^^^"), "{r}");
         assert!(r.contains("= help: define it before use"), "{r}");
+    }
+
+    #[test]
+    fn render_clamps_multiline_span_to_first_line() {
+        let src = "if a {\n    b = 1\n}\nc = 2\n";
+        let span = Span::new(0, 18); // the whole `if` statement, 3 lines
+        let d = Diagnostic::warning("V018", "unreachable-code", "statement is unreachable")
+            .with_span(span);
+        let r = d.render("test.vine", Some(src));
+        assert!(r.contains("1 | if a {\n"), "{r}");
+        assert!(r.contains("| ^^^^^^...\n"), "{r}");
+        // no caret line longer than the excerpt
+        for l in r.lines().filter(|l| l.contains('^')) {
+            assert!(l.len() <= "  | if a {...".len() + 4, "{r}");
+        }
     }
 
     #[test]

@@ -32,12 +32,14 @@
 pub mod dag;
 pub mod diag;
 pub mod environment;
+pub mod flow;
 pub mod language;
 pub mod placement;
 
 pub use dag::{lint_dag, DagNode};
 pub use diag::{Diagnostic, Report, Severity};
 pub use environment::{lint_environment, lint_spec, SpecFacts};
+pub use flow::{lint_flow, lint_fork_setup};
 pub use language::{lint_fork_mode, lint_language};
 pub use placement::lint_placement;
 
@@ -70,7 +72,10 @@ fn span_from_error(msg: &str, src: &str) -> Option<Span> {
 pub fn lint_source(origin: &str, src: &str) -> Report {
     let mut report = Report::with_source(origin, src);
     match vine_lang::parse(src) {
-        Ok(prog) => report.extend(lint_language(&prog)),
+        Ok(prog) => {
+            report.extend(lint_language(&prog));
+            report.extend(lint_flow(&prog));
+        }
         Err(e) => {
             let msg = e.to_string();
             let mut d = Diagnostic::error("V001", "syntax-error", &msg);
@@ -97,6 +102,7 @@ pub fn lint_source_with_env(
     match vine_lang::parse(src) {
         Ok(prog) => {
             report.extend(lint_language(&prog));
+            report.extend(lint_flow(&prog));
             report.extend(lint_environment(&prog, available, declared));
         }
         Err(e) => {
@@ -175,8 +181,12 @@ pub fn lint_library(spec: &LibrarySpec, source: &str, pre: &LibraryPreflight) ->
 
     if let Some(prog) = &parsed {
         report.extend(lint_language(prog));
+        report.extend(lint_flow(prog));
         if spec.exec_mode == ExecMode::Fork {
             report.extend(lint_fork_mode(prog));
+            if let Some(setup) = &spec.context.setup {
+                report.extend(lint_fork_setup(prog, &setup.function));
+            }
         }
         report.extend(lint_environment(
             prog,

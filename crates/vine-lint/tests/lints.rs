@@ -462,6 +462,7 @@ fn node(id: u64, argc: usize, deps: &[u64]) -> DagNode {
         function: "f".into(),
         argc,
         deps: deps.to_vec(),
+        args: Vec::new(),
     }
 }
 
@@ -517,6 +518,54 @@ fn v035_clean_when_every_target_resolves() {
     let nodes = vec![node(1, 2, &[]), node(2, 2, &[1])];
     let diags = lint_dag(&nodes, &one_lib_arities());
     assert!(!diags.iter().any(|d| d.code == "V035"), "{diags:?}");
+}
+
+// --- V036: invariant-argument ---
+
+#[test]
+fn v036_triggers_on_identical_literal_across_many_invocations() {
+    // 8 invocations, argument 1 always the same int literal; argument 0 varies
+    let nodes: Vec<DagNode> = (0..8)
+        .map(|i| {
+            let mut n = node(i, 2, &[]);
+            n.args = vec![Some(format!("int:{i}")), Some("str:config".into())];
+            n
+        })
+        .collect();
+    let diags = lint_dag(&nodes, &one_lib_arities());
+    let v036: Vec<_> = diags.iter().filter(|d| d.code == "V036").collect();
+    assert_eq!(v036.len(), 1, "{diags:?}");
+    assert!(v036[0].message.contains("argument 1"), "{diags:?}");
+}
+
+#[test]
+fn v036_silent_below_threshold_or_with_varying_args() {
+    // 7 identical invocations: below threshold
+    let few: Vec<DagNode> = (0..7)
+        .map(|i| {
+            let mut n = node(i, 2, &[]);
+            n.args = vec![Some("int:1".into()), Some("str:config".into())];
+            n
+        })
+        .collect();
+    assert!(!lint_dag(&few, &one_lib_arities())
+        .iter()
+        .any(|d| d.code == "V036"));
+
+    // 8 invocations but one position is a result-reference somewhere
+    let mixed: Vec<DagNode> = (0..8)
+        .map(|i| {
+            let mut n = node(i + 1, 2, &[]);
+            n.args = vec![Some("int:1".into()), None];
+            if i == 0 {
+                n.args[0] = None;
+            }
+            n
+        })
+        .collect();
+    assert!(!lint_dag(&mixed, &one_lib_arities())
+        .iter()
+        .any(|d| d.code == "V036"));
 }
 
 // --- real application sources stay clean ---

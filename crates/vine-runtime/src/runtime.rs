@@ -178,6 +178,73 @@ impl Runtime {
         Ok(())
     }
 
+    /// Install a library by *discovering* its context from a plain module:
+    /// the flow analysis ([`vine_flow::discover`]) classifies module-level
+    /// statements as invocation-invariant context (hoisted into a
+    /// synthesized `context_setup`) or per-instance residue, and this
+    /// method wires the result into the spec — setup function, code, and a
+    /// boot wrapper that replays the residue after setup when there is any.
+    ///
+    /// The user writes the module exactly as they would for local
+    /// execution; the paper's §6 "seamless discovery" is this call. The
+    /// shipped program is the same construction the differential proptest
+    /// in `vine-flow` holds to bit-identical execution: setup definition,
+    /// every module function, boot, residue in original order.
+    pub fn install_library_auto(
+        &mut self,
+        mut spec: LibrarySpec,
+        module_src: &str,
+        work_functions: &[&str],
+    ) -> Result<vine_flow::FlowDiscovery> {
+        let flow = vine_flow::discover(module_src, work_functions)?;
+        let ctx = &flow.context;
+
+        let mut source = String::new();
+        source.push_str(&ctx.setup_source);
+        // ship every module function, not just the transitively needed set
+        // in `code_source`: residue statements may call helpers the work
+        // functions never touch
+        let prog = vine_lang::parse(module_src)?;
+        for s in &prog {
+            if let vine_lang::ast::StmtKind::FuncDef(f) = &s.kind {
+                source.push_str(&vine_lang::inspect::format_funcdef(f));
+            }
+        }
+        let setup_fn = if ctx.residue.is_empty() {
+            "context_setup".to_string()
+        } else {
+            // residue re-runs per library instance, inside a wrapper that
+            // publishes whatever the residue writes back to the namespace
+            source.push_str("def __auto_boot() {\n");
+            if !flow.residue_publishes.is_empty() {
+                source.push_str(&format!(
+                    "    global {}\n",
+                    flow.residue_publishes.join(", ")
+                ));
+            }
+            source.push_str("    context_setup()\n");
+            for r in &ctx.residue {
+                for line in r.lines() {
+                    source.push_str("    ");
+                    source.push_str(line);
+                    source.push('\n');
+                }
+            }
+            source.push_str("}\n");
+            "__auto_boot".to_string()
+        };
+
+        if spec.functions.is_empty() {
+            spec.functions = work_functions.iter().map(|s| s.to_string()).collect();
+        }
+        spec.context.setup = Some(vine_core::context::SetupSpec {
+            function: setup_fn,
+            args_blob: pickle::serialize_args(&[])?,
+        });
+        self.install_library(spec, &source, vec![], &[])?;
+        Ok(flow)
+    }
+
     /// Parameter count of an installed library's exported function, when
     /// known. `None` means the library or function is not installed.
     pub fn function_arity(&self, library: &str, function: &str) -> Option<usize> {

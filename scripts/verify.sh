@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full verification pass: release build, whole-workspace tests, clippy on
-# every target with warnings denied, a formatting check, a determinism
-# smoke run (the repro sweep must be byte-identical with and without
-# cross-simulation parallelism), and the TCP loopback smoke (a multi-
-# process run over framed sockets must byte-match the in-process run,
-# with and without a worker killed mid-run).
+# every target with warnings denied, a formatting check, the static
+# pre-flight passes (lint must find no errors in the shipped sources;
+# analyze must run clean and its hoisting report is kept as an artifact),
+# a determinism smoke run (the repro sweep must be byte-identical with
+# and without cross-simulation parallelism), and the TCP loopback smoke
+# (a multi-process run over framed sockets must byte-match the in-process
+# run, with and without a worker killed mid-run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +14,10 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+./target/release/repro lint
+./target/release/repro analyze --check | tee ANALYZE_report.txt
+echo "repro lint + analyze: OK (report in ANALYZE_report.txt)"
 
 seq_out="$(mktemp)"
 par_out="$(mktemp)"
