@@ -94,6 +94,37 @@ fn run_join(args: &[String]) -> ! {
     }
 }
 
+/// `repro disasm FILE...` — compile vinescript modules to bytecode and
+/// print their disassembly (the same stable text the golden tests pin).
+fn run_disasm(args: &[String]) -> ! {
+    if args.is_empty() {
+        eprintln!("disasm: pass one or more .vine files");
+        std::process::exit(2);
+    }
+    for p in args {
+        let src = match std::fs::read_to_string(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{p}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let prog = match vine_lang::parse(&src) {
+            Ok(prog) => prog,
+            Err(e) => {
+                eprintln!("{p}: parse error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let module = vine_lang::compile_module(&prog, &src);
+        if args.len() > 1 {
+            println!("== {p} ==");
+        }
+        print!("{}", vine_lang::bytecode::disassemble(&module.top));
+    }
+    std::process::exit(0);
+}
+
 /// `repro lint [paths...]` — run the vine-lint language + environment
 /// layers over vinescript sources. With no paths, lints the embedded
 /// application sources (LNNI, ExaMol) and every `examples/vinescript/*.vine`
@@ -329,6 +360,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("analyze") {
         run_analyze(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("disasm") {
+        run_disasm(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("serve") {
         run_serve(&args[1..]);
     }
@@ -339,6 +373,7 @@ fn main() {
     let mut json = false;
     let mut jobs = 0usize; // 0 = available parallelism
     let mut sim = false;
+    let mut lang = false;
     let mut transport: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -366,6 +401,7 @@ fn main() {
             }
             "--json" => json = true,
             "--sim" => sim = true,
+            "--lang" => lang = true,
             "--transport" => {
                 transport = it
                     .next()
@@ -389,9 +425,11 @@ fn main() {
                      \x20      repro analyze [file.vine ...] [--check]\n\
                      \x20      repro serve [--listen ADDR | --local] [--workers N] [--n N]\n\
                      \x20      repro join ADDR\n\
+                     \x20      repro disasm file.vine ...\n\
                      experiments: {}\n\
                      extra: perf (scheduler self-benchmark, writes BENCH_sched.json)\n\
                      \x20      perf --sim (simulator event-core self-benchmark, writes BENCH_sim.json)\n\
+                     \x20      perf --lang (VM vs tree-walker invocation benchmark, writes BENCH_lang.json)\n\
                      --jobs N: worker threads for independent simulation cells\n\
                      \x20         (default: available parallelism; output is identical at any N)",
                     experiments::IDS.join(", ")
@@ -404,15 +442,22 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::IDS.iter().map(|s| s.to_string()).collect();
     }
-    if sim {
+    if sim && lang {
+        eprintln!("--sim and --lang are mutually exclusive");
+        std::process::exit(2);
+    }
+    if sim || lang {
         for id in &mut ids {
             if id == "perf" {
-                *id = "perf_sim".to_string();
+                *id = if sim { "perf_sim" } else { "perf_lang" }.to_string();
             }
         }
     }
     for id in &ids {
-        let known = experiments::IDS.contains(&id.as_str()) || id == "perf" || id == "perf_sim";
+        let known = experiments::IDS.contains(&id.as_str())
+            || id == "perf"
+            || id == "perf_sim"
+            || id == "perf_lang";
         if !known {
             eprintln!("unknown experiment '{id}' (try --list)");
             std::process::exit(2);

@@ -1,7 +1,11 @@
 //! # vine-data
 //!
-//! The data plane. Three pieces:
+//! The data plane. Four pieces:
 //!
+//! * [`images::CompiledImageStore`] — content-addressed interning of
+//!   compiled library images by source digest: the manager compiles each
+//!   distinct library source once, and workers hold one copy of shipped
+//!   image bytes no matter how many library instances use them.
 //! * [`store::ContentStore`] — the manager's table of declared files.
 //!   Every transferable is immutable and content-addressed (paper §2.2.2:
 //!   unique, read-only naming is what makes worker-to-worker transfers safe
@@ -16,9 +20,11 @@
 //!   fair-shared among concurrent readers.
 
 pub mod cache;
+pub mod images;
 pub mod sharedfs;
 pub mod store;
 
 pub use cache::WorkerCache;
+pub use images::CompiledImageStore;
 pub use sharedfs::SharedFsModel;
 pub use store::ContentStore;

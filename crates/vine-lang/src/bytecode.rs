@@ -1,0 +1,880 @@
+//! The compiled form of a vine-lang module: a compact instruction set plus
+//! the pools it indexes into.
+//!
+//! A [`CompiledFn`] is the unit of compiled code — one per function body,
+//! plus one for the module's top level. It owns a constant pool (literal
+//! [`Value`]s built once at compile time, so a string literal in a hot loop
+//! is an `Rc` bump instead of a fresh allocation), an interned name table
+//! for everything still resolved dynamically (globals, attributes,
+//! imports), a slot table mapping the function's local variables to dense
+//! indices resolved at compile time, and the nested `CompiledFn`s of every
+//! function literal in its body.
+//!
+//! In the paper's terms the compiled module is *context* (§2.2.3): it is
+//! computed once — at library install on the manager — shipped inside the
+//! library image as bytes, content-addressed by the digest of the source
+//! it was compiled from, and retained by the library daemon across
+//! invocations. [`to_bytes`]/[`from_bytes`] are the wire
+//! form; `vine-data`'s image store dedups by digest.
+
+use crate::ast::{BinOp, FuncDef, UnOp};
+use crate::value::Value;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use vine_core::{ContentHash, Result, VineError};
+
+/// Sentinel slot index: the called name has no local slot in this scope
+/// (resolution is globals-or-builtin only).
+pub const NO_SLOT: u16 = u16::MAX;
+
+/// Fixed runtime errors the compiler lowers misplaced control flow into.
+/// The tree-walker raises these *dynamically* — `return` at module level is
+/// an error only when execution actually reaches it — so the compiler must
+/// preserve that by emitting an instruction, not rejecting the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaiseKind {
+    /// `break`/`continue` outside any enclosing loop.
+    BreakContinueOutsideLoop,
+    /// `return` at module level.
+    ReturnOutsideFunction,
+}
+
+impl RaiseKind {
+    pub fn message(self) -> &'static str {
+        match self {
+            RaiseKind::BreakContinueOutsideLoop => "break/continue outside loop",
+            RaiseKind::ReturnOutsideFunction => "return outside function",
+        }
+    }
+}
+
+/// One VM instruction. Operand indices point into the owning
+/// [`CompiledFn`]'s pools; jump targets are absolute instruction indices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// Push `consts[i]`.
+    Const(u32),
+    /// Pop n values, push them as a new list (in evaluation order).
+    MakeList(u32),
+    /// Pop 2n values (key/value alternating, evaluation order), push dict.
+    MakeDict(u32),
+    /// Error unless the top of stack is a str (dict-key check, raised
+    /// before the corresponding value expression evaluates).
+    CheckStrKey,
+    /// Push local slot s; unset or `global`-declared slots fall back to a
+    /// global lookup of the slot's name.
+    LoadLocal(u16),
+    /// Pop into slot s, or into globals if the slot was declared `global`.
+    StoreLocal(u16),
+    /// Push `globals[names[n]]`; error "undefined variable" when absent.
+    LoadGlobal(u32),
+    /// Pop into `globals[names[n]]`.
+    StoreGlobal(u32),
+    /// Pop a module object, push its member `names[n]`.
+    LoadAttr(u32),
+    /// Pop index then container, push the element.
+    Index,
+    /// Pop index, container, value (pushed in value/container/index
+    /// order); assign the element.
+    StoreIndex,
+    /// Pop argc arguments; dispatch by name with the tree-walker's exact
+    /// shadowing rule: builtins fire only when `names[n]` resolves to
+    /// neither a set local (slot, unless NO_SLOT) nor a global.
+    CallNamed {
+        name: u32,
+        slot: u16,
+        argc: u32,
+    },
+    /// Pop the callee (top of stack), then argc arguments; push result.
+    CallValue(u32),
+    /// Pop a value, apply a unary operator.
+    Unary(UnOp),
+    /// Pop rhs then lhs, apply a (non-short-circuit) binary operator.
+    Binary(BinOp),
+    /// Pop; jump when falsy.
+    JumpIfFalse(u32),
+    /// Jump when falsy, keeping the value (the `and` short-circuit).
+    JumpIfFalseKeep(u32),
+    /// Jump when truthy, keeping the value (the `or` short-circuit).
+    JumpIfTrueKeep(u32),
+    Jump(u32),
+    Pop,
+    /// Return the top of stack from this function.
+    Return,
+    /// Push `funcs[i]` closed over the current globals, seeding its
+    /// compiled-code cache so later calls skip compilation.
+    MakeFunc(u32),
+    /// Import module `names[n]`, push the module value.
+    Import(u32),
+    /// Declare the listed slots `global` for the rest of this activation.
+    Global(Box<[u16]>),
+    /// Pop an iterable, push a materialized iterator (list snapshot, dict
+    /// keys, or string characters — the tree-walker's `iterable_items`).
+    MakeIter,
+    /// Push the iterator's next item, or pop the iterator and jump.
+    IterNext(u32),
+    /// Pop the top iterator (compiled `break` inside a `for`).
+    PopIter,
+    /// Raise a fixed control-flow error.
+    Raise(RaiseKind),
+
+    // ---- fused superinstructions ----
+    //
+    // Emitted by the compiler's peephole pass over adjacent instructions
+    // whose interior is not a jump target. Each is semantically identical
+    // to the sequence it replaces (same evaluation order, same errors);
+    // they exist because dispatch itself — one indirect branch per
+    // instruction — dominates the cost of simple operations.
+    /// `LoadLocal a; LoadLocal b; Binary op` — push `binary(slots[a], slots[b])`.
+    BinaryLL {
+        op: BinOp,
+        a: u16,
+        b: u16,
+    },
+    /// `LoadLocal a; Const c; Binary op` — push `binary(slots[a], consts[c])`.
+    BinaryLC {
+        op: BinOp,
+        a: u16,
+        c: u32,
+    },
+    /// `LoadLocal s; Binary op` — pop lhs, push `binary(lhs, slots[s])`.
+    BinarySL {
+        op: BinOp,
+        s: u16,
+    },
+    /// `Const c; Binary op` — pop lhs, push `binary(lhs, consts[c])`.
+    BinarySC {
+        op: BinOp,
+        c: u32,
+    },
+    /// `IterNext t; StoreLocal slot` — the `for`-loop head in one step.
+    ForIter {
+        target: u32,
+        slot: u16,
+    },
+    /// `LoadLocal s; Return`.
+    ReturnLocal(u16),
+    /// `Const c; Return`.
+    ReturnConst(u32),
+}
+
+/// One compiled function body (or the module top level, when `def` is
+/// `None`). Self-contained: all pools an instruction indexes are here.
+#[derive(Debug)]
+pub struct CompiledFn {
+    /// The source definition, kept so the VM can build `Value::Func`
+    /// objects (pickle interop, arity recovery) — `None` only for the
+    /// module top level, which never becomes a value.
+    pub def: Option<Rc<FuncDef>>,
+    pub name: Rc<str>,
+    pub n_params: u16,
+    /// Total local slots (parameters occupy the first `n_params`).
+    pub n_slots: u16,
+    /// Slot index → source name, for global fallback and error messages.
+    pub slot_names: Vec<Rc<str>>,
+    /// Interned names still resolved dynamically at runtime.
+    pub names: Vec<Rc<str>>,
+    /// Literal pool. Only leaf values (none/bool/int/float/str) ever
+    /// appear here, so cloning a constant is at most an `Rc` bump.
+    pub consts: Vec<Value>,
+    /// Nested function literals (`def`s and lambdas) in body order.
+    pub funcs: Vec<Rc<CompiledFn>>,
+    pub code: Vec<Instr>,
+}
+
+/// A compiled module: the top-level code (whose `funcs` table carries every
+/// function defined in it) plus the digest of the source it came from —
+/// the content address under which `vine-data` stores and workers dedup
+/// the image.
+#[derive(Debug)]
+pub struct CompiledModule {
+    pub top: Rc<CompiledFn>,
+    pub source_digest: ContentHash,
+}
+
+impl CompiledModule {
+    /// Serialize for shipping/content-addressing. The digest is *not*
+    /// encoded — it names the bytes, it does not travel inside them.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        to_bytes(&self.top)
+    }
+}
+
+// ---------- disassembly ----------
+
+/// Render a compiled function (and, recursively, everything it defines) as
+/// stable text. Golden tests pin this output so encoding changes are
+/// reviewed, not accidental.
+pub fn disassemble(f: &CompiledFn) -> String {
+    let mut out = String::new();
+    disasm_one(f, &mut out);
+    out
+}
+
+fn disasm_one(f: &CompiledFn, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "fn {}(params={}, slots={}{})",
+        f.name,
+        f.n_params,
+        f.n_slots,
+        if f.slot_names.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " [{}]",
+                f.slot_names
+                    .iter()
+                    .map(|s| s.as_ref())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+        }
+    );
+    for (i, instr) in f.code.iter().enumerate() {
+        let _ = writeln!(out, "  {i:4} {}", render_instr(f, instr));
+    }
+    for nested in &f.funcs {
+        disasm_one(nested, out);
+    }
+}
+
+fn render_instr(f: &CompiledFn, instr: &Instr) -> String {
+    let name = |n: u32| -> &str { &f.names[n as usize] };
+    let slot = |s: u16| -> String {
+        if s == NO_SLOT {
+            "-".into()
+        } else {
+            format!("{s}:{}", f.slot_names[s as usize])
+        }
+    };
+    match instr {
+        Instr::Const(i) => format!(
+            "const      {} ; {}",
+            i,
+            render_const(&f.consts[*i as usize])
+        ),
+        Instr::MakeList(n) => format!("make_list  {n}"),
+        Instr::MakeDict(n) => format!("make_dict  {n}"),
+        Instr::CheckStrKey => "check_key".into(),
+        Instr::LoadLocal(s) => format!("load_loc   {}", slot(*s)),
+        Instr::StoreLocal(s) => format!("store_loc  {}", slot(*s)),
+        Instr::LoadGlobal(n) => format!("load_glb   {}", name(*n)),
+        Instr::StoreGlobal(n) => format!("store_glb  {}", name(*n)),
+        Instr::LoadAttr(n) => format!("load_attr  {}", name(*n)),
+        Instr::Index => "index".into(),
+        Instr::StoreIndex => "store_idx".into(),
+        Instr::CallNamed {
+            name: n,
+            slot: s,
+            argc,
+        } => {
+            format!("call_named {} argc={} slot={}", name(*n), argc, slot(*s))
+        }
+        Instr::CallValue(argc) => format!("call_value argc={argc}"),
+        Instr::Unary(op) => format!("unary      {op:?}"),
+        Instr::Binary(op) => format!("binary     {op:?}"),
+        Instr::JumpIfFalse(t) => format!("jf         -> {t}"),
+        Instr::JumpIfFalseKeep(t) => format!("jf_keep    -> {t}"),
+        Instr::JumpIfTrueKeep(t) => format!("jt_keep    -> {t}"),
+        Instr::Jump(t) => format!("jump       -> {t}"),
+        Instr::Pop => "pop".into(),
+        Instr::Return => "return".into(),
+        Instr::MakeFunc(i) => format!("make_fn    {} ; {}", i, f.funcs[*i as usize].name),
+        Instr::Import(n) => format!("import     {}", name(*n)),
+        Instr::Global(slots) => format!(
+            "global     [{}]",
+            slots.iter().map(|s| slot(*s)).collect::<Vec<_>>().join(" ")
+        ),
+        Instr::MakeIter => "make_iter".into(),
+        Instr::IterNext(t) => format!("iter_next  -> {t}"),
+        Instr::PopIter => "pop_iter".into(),
+        Instr::Raise(k) => format!("raise      {}", k.message()),
+        Instr::BinaryLL { op, a, b } => {
+            format!("binary_ll  {op:?} {} {}", slot(*a), slot(*b))
+        }
+        Instr::BinaryLC { op, a, c } => format!(
+            "binary_lc  {op:?} {} {} ; {}",
+            slot(*a),
+            c,
+            render_const(&f.consts[*c as usize])
+        ),
+        Instr::BinarySL { op, s } => format!("binary_sl  {op:?} {}", slot(*s)),
+        Instr::BinarySC { op, c } => format!(
+            "binary_sc  {op:?} {} ; {}",
+            c,
+            render_const(&f.consts[*c as usize])
+        ),
+        Instr::ForIter { target, slot: s } => format!("for_iter   {} -> {target}", slot(*s)),
+        Instr::ReturnLocal(s) => format!("ret_loc    {}", slot(*s)),
+        Instr::ReturnConst(c) => {
+            format!(
+                "ret_const  {} ; {}",
+                c,
+                render_const(&f.consts[*c as usize])
+            )
+        }
+    }
+}
+
+fn render_const(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("{s:?}"),
+        other => other.to_string(),
+    }
+}
+
+// ---------- byte serialization ----------
+
+const MAGIC: &[u8; 4] = b"VBC2";
+
+mod op {
+    pub const CONST: u8 = 0;
+    pub const MAKE_LIST: u8 = 1;
+    pub const MAKE_DICT: u8 = 2;
+    pub const CHECK_STR_KEY: u8 = 3;
+    pub const LOAD_LOCAL: u8 = 4;
+    pub const STORE_LOCAL: u8 = 5;
+    pub const LOAD_GLOBAL: u8 = 6;
+    pub const STORE_GLOBAL: u8 = 7;
+    pub const LOAD_ATTR: u8 = 8;
+    pub const INDEX: u8 = 9;
+    pub const STORE_INDEX: u8 = 10;
+    pub const CALL_NAMED: u8 = 11;
+    pub const CALL_VALUE: u8 = 12;
+    pub const UNARY: u8 = 13;
+    pub const BINARY: u8 = 14;
+    pub const JUMP_IF_FALSE: u8 = 15;
+    pub const JUMP_IF_FALSE_KEEP: u8 = 16;
+    pub const JUMP_IF_TRUE_KEEP: u8 = 17;
+    pub const JUMP: u8 = 18;
+    pub const POP: u8 = 19;
+    pub const RETURN: u8 = 20;
+    pub const MAKE_FUNC: u8 = 21;
+    pub const IMPORT: u8 = 22;
+    pub const GLOBAL: u8 = 23;
+    pub const MAKE_ITER: u8 = 24;
+    pub const ITER_NEXT: u8 = 25;
+    pub const POP_ITER: u8 = 26;
+    pub const RAISE: u8 = 27;
+    pub const BINARY_LL: u8 = 28;
+    pub const BINARY_LC: u8 = 29;
+    pub const BINARY_SL: u8 = 30;
+    pub const BINARY_SC: u8 = 31;
+    pub const FOR_ITER: u8 = 32;
+    pub const RETURN_LOCAL: u8 = 33;
+    pub const RETURN_CONST: u8 = 34;
+}
+
+mod const_tag {
+    pub const NONE: u8 = 0;
+    pub const BOOL: u8 = 1;
+    pub const INT: u8 = 2;
+    pub const FLOAT: u8 = 3;
+    pub const STR: u8 = 4;
+}
+
+fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        // never emitted: lowered to short-circuit jumps
+        BinOp::And => 11,
+        BinOp::Or => 12,
+    }
+}
+
+fn binop_from(code: u8) -> Result<BinOp> {
+    Ok(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        other => return Err(bad(format!("binary opcode {other}"))),
+    })
+}
+
+fn bad(what: impl std::fmt::Display) -> VineError {
+    VineError::Lang(format!("invalid compiled image: {what}"))
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.data.len() - self.pos < n {
+            return Err(bad("truncated"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| bad("non-utf8 string"))
+    }
+    fn blob(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+}
+
+/// Encode a compiled function tree as bytes (the wire/cache form of a
+/// compiled image).
+pub fn to_bytes(f: &CompiledFn) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(256));
+    w.0.extend_from_slice(MAGIC);
+    write_fn(&mut w, f);
+    w.0
+}
+
+fn write_fn(w: &mut Writer, f: &CompiledFn) {
+    match &f.def {
+        Some(def) => {
+            w.u8(1);
+            w.bytes(&crate::pickle::serialize_funcdef(def));
+        }
+        None => w.u8(0),
+    }
+    w.str(&f.name);
+    w.u16(f.n_params);
+    w.u16(f.n_slots);
+    w.u32(f.slot_names.len() as u32);
+    for s in &f.slot_names {
+        w.str(s);
+    }
+    w.u32(f.names.len() as u32);
+    for s in &f.names {
+        w.str(s);
+    }
+    w.u32(f.consts.len() as u32);
+    for c in &f.consts {
+        match c {
+            Value::None => w.u8(const_tag::NONE),
+            Value::Bool(b) => {
+                w.u8(const_tag::BOOL);
+                w.u8(*b as u8);
+            }
+            Value::Int(v) => {
+                w.u8(const_tag::INT);
+                w.u64(*v as u64);
+            }
+            Value::Float(v) => {
+                w.u8(const_tag::FLOAT);
+                w.u64(v.to_bits());
+            }
+            Value::Str(s) => {
+                w.u8(const_tag::STR);
+                w.str(s);
+            }
+            other => unreachable!("non-leaf constant {other:?} in pool"),
+        }
+    }
+    w.u32(f.funcs.len() as u32);
+    for nested in &f.funcs {
+        write_fn(w, nested);
+    }
+    w.u32(f.code.len() as u32);
+    for instr in &f.code {
+        write_instr(w, instr);
+    }
+}
+
+fn write_instr(w: &mut Writer, instr: &Instr) {
+    match instr {
+        Instr::Const(i) => {
+            w.u8(op::CONST);
+            w.u32(*i);
+        }
+        Instr::MakeList(n) => {
+            w.u8(op::MAKE_LIST);
+            w.u32(*n);
+        }
+        Instr::MakeDict(n) => {
+            w.u8(op::MAKE_DICT);
+            w.u32(*n);
+        }
+        Instr::CheckStrKey => w.u8(op::CHECK_STR_KEY),
+        Instr::LoadLocal(s) => {
+            w.u8(op::LOAD_LOCAL);
+            w.u16(*s);
+        }
+        Instr::StoreLocal(s) => {
+            w.u8(op::STORE_LOCAL);
+            w.u16(*s);
+        }
+        Instr::LoadGlobal(n) => {
+            w.u8(op::LOAD_GLOBAL);
+            w.u32(*n);
+        }
+        Instr::StoreGlobal(n) => {
+            w.u8(op::STORE_GLOBAL);
+            w.u32(*n);
+        }
+        Instr::LoadAttr(n) => {
+            w.u8(op::LOAD_ATTR);
+            w.u32(*n);
+        }
+        Instr::Index => w.u8(op::INDEX),
+        Instr::StoreIndex => w.u8(op::STORE_INDEX),
+        Instr::CallNamed { name, slot, argc } => {
+            w.u8(op::CALL_NAMED);
+            w.u32(*name);
+            w.u16(*slot);
+            w.u32(*argc);
+        }
+        Instr::CallValue(argc) => {
+            w.u8(op::CALL_VALUE);
+            w.u32(*argc);
+        }
+        Instr::Unary(op_) => {
+            w.u8(op::UNARY);
+            w.u8(match op_ {
+                UnOp::Neg => 0,
+                UnOp::Not => 1,
+            });
+        }
+        Instr::Binary(op_) => {
+            w.u8(op::BINARY);
+            w.u8(binop_code(*op_));
+        }
+        Instr::JumpIfFalse(t) => {
+            w.u8(op::JUMP_IF_FALSE);
+            w.u32(*t);
+        }
+        Instr::JumpIfFalseKeep(t) => {
+            w.u8(op::JUMP_IF_FALSE_KEEP);
+            w.u32(*t);
+        }
+        Instr::JumpIfTrueKeep(t) => {
+            w.u8(op::JUMP_IF_TRUE_KEEP);
+            w.u32(*t);
+        }
+        Instr::Jump(t) => {
+            w.u8(op::JUMP);
+            w.u32(*t);
+        }
+        Instr::Pop => w.u8(op::POP),
+        Instr::Return => w.u8(op::RETURN),
+        Instr::MakeFunc(i) => {
+            w.u8(op::MAKE_FUNC);
+            w.u32(*i);
+        }
+        Instr::Import(n) => {
+            w.u8(op::IMPORT);
+            w.u32(*n);
+        }
+        Instr::Global(slots) => {
+            w.u8(op::GLOBAL);
+            w.u16(slots.len() as u16);
+            for s in slots.iter() {
+                w.u16(*s);
+            }
+        }
+        Instr::MakeIter => w.u8(op::MAKE_ITER),
+        Instr::IterNext(t) => {
+            w.u8(op::ITER_NEXT);
+            w.u32(*t);
+        }
+        Instr::PopIter => w.u8(op::POP_ITER),
+        Instr::Raise(k) => {
+            w.u8(op::RAISE);
+            w.u8(match k {
+                RaiseKind::BreakContinueOutsideLoop => 0,
+                RaiseKind::ReturnOutsideFunction => 1,
+            });
+        }
+        Instr::BinaryLL { op: op_, a, b } => {
+            w.u8(op::BINARY_LL);
+            w.u8(binop_code(*op_));
+            w.u16(*a);
+            w.u16(*b);
+        }
+        Instr::BinaryLC { op: op_, a, c } => {
+            w.u8(op::BINARY_LC);
+            w.u8(binop_code(*op_));
+            w.u16(*a);
+            w.u32(*c);
+        }
+        Instr::BinarySL { op: op_, s } => {
+            w.u8(op::BINARY_SL);
+            w.u8(binop_code(*op_));
+            w.u16(*s);
+        }
+        Instr::BinarySC { op: op_, c } => {
+            w.u8(op::BINARY_SC);
+            w.u8(binop_code(*op_));
+            w.u32(*c);
+        }
+        Instr::ForIter { target, slot } => {
+            w.u8(op::FOR_ITER);
+            w.u32(*target);
+            w.u16(*slot);
+        }
+        Instr::ReturnLocal(s) => {
+            w.u8(op::RETURN_LOCAL);
+            w.u16(*s);
+        }
+        Instr::ReturnConst(c) => {
+            w.u8(op::RETURN_CONST);
+            w.u32(*c);
+        }
+    }
+}
+
+/// Decode a compiled image produced by [`to_bytes`]. Validates structure
+/// (indices are checked lazily by the VM's pool bounds).
+pub fn from_bytes(data: &[u8]) -> Result<Rc<CompiledFn>> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let f = read_fn(&mut r)?;
+    if r.pos != data.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(f)
+}
+
+fn read_fn(r: &mut Reader) -> Result<Rc<CompiledFn>> {
+    let def = match r.u8()? {
+        0 => None,
+        1 => Some(crate::pickle::deserialize_funcdef(r.blob()?)?),
+        other => return Err(bad(format!("def tag {other}"))),
+    };
+    let name: Rc<str> = Rc::from(r.str()?.as_str());
+    let n_params = r.u16()?;
+    let n_slots = r.u16()?;
+    let n = r.u32()? as usize;
+    let mut slot_names = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        slot_names.push(Rc::from(r.str()?.as_str()));
+    }
+    if slot_names.len() != n_slots as usize {
+        return Err(bad("slot table size mismatch"));
+    }
+    let n = r.u32()? as usize;
+    let mut names = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        names.push(Rc::from(r.str()?.as_str()));
+    }
+    let n = r.u32()? as usize;
+    let mut consts = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        consts.push(match r.u8()? {
+            const_tag::NONE => Value::None,
+            const_tag::BOOL => Value::Bool(r.u8()? != 0),
+            const_tag::INT => Value::Int(r.u64()? as i64),
+            const_tag::FLOAT => Value::Float(f64::from_bits(r.u64()?)),
+            const_tag::STR => Value::str(r.str()?),
+            other => return Err(bad(format!("const tag {other}"))),
+        });
+    }
+    let n = r.u32()? as usize;
+    let mut funcs = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        funcs.push(read_fn(r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut code = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        code.push(read_instr(r)?);
+    }
+    Ok(Rc::new(CompiledFn {
+        def,
+        name,
+        n_params,
+        n_slots,
+        slot_names,
+        names,
+        consts,
+        funcs,
+        code,
+    }))
+}
+
+fn read_instr(r: &mut Reader) -> Result<Instr> {
+    Ok(match r.u8()? {
+        op::CONST => Instr::Const(r.u32()?),
+        op::MAKE_LIST => Instr::MakeList(r.u32()?),
+        op::MAKE_DICT => Instr::MakeDict(r.u32()?),
+        op::CHECK_STR_KEY => Instr::CheckStrKey,
+        op::LOAD_LOCAL => Instr::LoadLocal(r.u16()?),
+        op::STORE_LOCAL => Instr::StoreLocal(r.u16()?),
+        op::LOAD_GLOBAL => Instr::LoadGlobal(r.u32()?),
+        op::STORE_GLOBAL => Instr::StoreGlobal(r.u32()?),
+        op::LOAD_ATTR => Instr::LoadAttr(r.u32()?),
+        op::INDEX => Instr::Index,
+        op::STORE_INDEX => Instr::StoreIndex,
+        op::CALL_NAMED => Instr::CallNamed {
+            name: r.u32()?,
+            slot: r.u16()?,
+            argc: r.u32()?,
+        },
+        op::CALL_VALUE => Instr::CallValue(r.u32()?),
+        op::UNARY => Instr::Unary(match r.u8()? {
+            0 => UnOp::Neg,
+            1 => UnOp::Not,
+            other => return Err(bad(format!("unary opcode {other}"))),
+        }),
+        op::BINARY => Instr::Binary(binop_from(r.u8()?)?),
+        op::JUMP_IF_FALSE => Instr::JumpIfFalse(r.u32()?),
+        op::JUMP_IF_FALSE_KEEP => Instr::JumpIfFalseKeep(r.u32()?),
+        op::JUMP_IF_TRUE_KEEP => Instr::JumpIfTrueKeep(r.u32()?),
+        op::JUMP => Instr::Jump(r.u32()?),
+        op::POP => Instr::Pop,
+        op::RETURN => Instr::Return,
+        op::MAKE_FUNC => Instr::MakeFunc(r.u32()?),
+        op::IMPORT => Instr::Import(r.u32()?),
+        op::GLOBAL => {
+            let n = r.u16()? as usize;
+            let mut slots = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                slots.push(r.u16()?);
+            }
+            Instr::Global(slots.into_boxed_slice())
+        }
+        op::MAKE_ITER => Instr::MakeIter,
+        op::ITER_NEXT => Instr::IterNext(r.u32()?),
+        op::POP_ITER => Instr::PopIter,
+        op::BINARY_LL => Instr::BinaryLL {
+            op: binop_from(r.u8()?)?,
+            a: r.u16()?,
+            b: r.u16()?,
+        },
+        op::BINARY_LC => Instr::BinaryLC {
+            op: binop_from(r.u8()?)?,
+            a: r.u16()?,
+            c: r.u32()?,
+        },
+        op::BINARY_SL => Instr::BinarySL {
+            op: binop_from(r.u8()?)?,
+            s: r.u16()?,
+        },
+        op::BINARY_SC => Instr::BinarySC {
+            op: binop_from(r.u8()?)?,
+            c: r.u32()?,
+        },
+        op::FOR_ITER => Instr::ForIter {
+            target: r.u32()?,
+            slot: r.u16()?,
+        },
+        op::RETURN_LOCAL => Instr::ReturnLocal(r.u16()?),
+        op::RETURN_CONST => Instr::ReturnConst(r.u32()?),
+        op::RAISE => Instr::Raise(match r.u8()? {
+            0 => RaiseKind::BreakContinueOutsideLoop,
+            1 => RaiseKind::ReturnOutsideFunction,
+            other => return Err(bad(format!("raise kind {other}"))),
+        }),
+        other => Err(bad(format!("opcode {other}")))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_src(src: &str) -> CompiledModule {
+        let prog = crate::parse(src).unwrap();
+        crate::compile::compile_module(&prog, src)
+    }
+
+    #[test]
+    fn roundtrip_preserves_code() {
+        let m = compile_src(
+            r#"
+            def f(x) {
+                s = 0
+                for i in range(x) {
+                    if i % 2 == 0 { continue }
+                    s = s + i
+                }
+                return s
+            }
+            table = {"a": 1.5, "b": f(10)}
+            "#,
+        );
+        let bytes = m.to_bytes();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(disassemble(&m.top), disassemble(&back));
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let m = compile_src("x = 1\n");
+        let bytes = m.to_bytes();
+        assert!(from_bytes(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        let mut garbled = bytes.clone();
+        garbled[0] = b'X';
+        assert!(from_bytes(&garbled).is_err(), "bad magic");
+        assert!(from_bytes(&[]).is_err(), "empty");
+    }
+
+    #[test]
+    fn digest_is_source_content_address() {
+        let a = compile_src("x = 1\n");
+        let b = compile_src("x = 1\n");
+        let c = compile_src("x = 2\n");
+        assert_eq!(a.source_digest, b.source_digest);
+        assert_ne!(a.source_digest, c.source_digest);
+    }
+}

@@ -9,16 +9,31 @@
 
 use crate::ast::{BinOp, Expr, FuncDef, Program, Stmt, StmtKind, Target, UnOp};
 use crate::builtins;
+use crate::bytecode::{CompiledFn, CompiledModule};
 use crate::modules::ModuleRegistry;
 use crate::value::{Function, Value};
+use crate::{compile, vm};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use vine_core::{Result, VineError};
 
-/// Local variable scope for one function activation.
+/// Which execution engine this interpreter runs programs and function
+/// bodies on. Both engines share all other interpreter state (globals,
+/// modules, output, step budget) and are semantically identical; the VM is
+/// the fast path for retained library contexts, the tree-walker the
+/// differential reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    #[default]
+    Tree,
+    Vm,
+}
+
+/// Local variable scope for one function activation. Keys are `Rc<str>`
+/// so re-assignment and parameter binding never re-clone the name text.
 struct Frame {
-    locals: BTreeMap<String, Value>,
+    locals: BTreeMap<Rc<str>, Value>,
     global_decls: BTreeSet<String>,
 }
 
@@ -44,6 +59,16 @@ pub struct Interp {
     /// Abort execution after this many evaluation steps (guards tests and
     /// fuzzing against runaway loops).
     pub step_limit: u64,
+    /// Which engine executes programs and function bodies.
+    pub engine: Engine,
+    /// Bytecode cache keyed by `FuncDef` identity. The `Rc<FuncDef>` is
+    /// retained so the address can never be reused by a freed definition.
+    compiled: BTreeMap<usize, (Rc<FuncDef>, Rc<CompiledFn>)>,
+    /// Recycled VM local-slot buffers, so steady-state calls allocate
+    /// nothing.
+    slot_pool: Vec<Vec<Option<Value>>>,
+    /// Recycled VM operand stacks.
+    stack_pool: Vec<Vec<Value>>,
 }
 
 impl Default for Interp {
@@ -65,6 +90,10 @@ impl Interp {
             output: Vec::new(),
             steps: 0,
             step_limit: 200_000_000,
+            engine: Engine::Tree,
+            compiled: BTreeMap::new(),
+            slot_pool: Vec::new(),
+            stack_pool: Vec::new(),
         }
     }
 
@@ -80,6 +109,10 @@ impl Interp {
 
     /// Execute a parsed program at module level.
     pub fn exec_program(&mut self, prog: &Program) -> Result<()> {
+        if self.engine == Engine::Vm {
+            let top = compile::compile_program(prog);
+            return vm::run_toplevel(self, &top);
+        }
         for stmt in prog {
             match self.exec_stmt(stmt, None)? {
                 Flow::Normal => {}
@@ -90,6 +123,13 @@ impl Interp {
             }
         }
         Ok(())
+    }
+
+    /// Execute an already-compiled module image at module level, skipping
+    /// parse and compile entirely — the install-once/invoke-many path for
+    /// shipped library contexts.
+    pub fn exec_compiled(&mut self, module: &CompiledModule) -> Result<()> {
+        vm::run_toplevel(self, &module.top)
     }
 
     /// Evaluate a single expression in the global scope.
@@ -155,39 +195,109 @@ impl Interp {
                 args.len()
             )));
         }
-        let mut frame = Frame {
-            locals: f
-                .def
-                .params
-                .iter()
-                .cloned()
-                .zip(args.iter().cloned())
-                .collect(),
-            global_decls: BTreeSet::new(),
-        };
         // the function executes against its *defining* globals, which may
         // belong to a different interpreter than `self` (e.g. a deserialized
         // function re-bound on a worker)
         let saved = Rc::clone(&self.globals);
-        let fg = Rc::clone(&f.globals);
-        self.globals = fg;
-        let result = (|| -> Result<Value> {
-            for stmt in &f.def.body {
-                match self.exec_stmt(stmt, Some(&mut frame))? {
-                    Flow::Normal => {}
-                    Flow::Return(v) => return Ok(v),
-                    Flow::Break | Flow::Continue => {
-                        return Err(VineError::Lang("break/continue outside loop".into()))
+        self.globals = Rc::clone(&f.globals);
+        let result = if self.engine == Engine::Vm {
+            let code = self.compiled_for(f);
+            vm::run_function(self, &code, args)
+        } else {
+            let mut frame = Frame {
+                locals: f
+                    .param_names
+                    .iter()
+                    .cloned()
+                    .zip(args.iter().cloned())
+                    .collect(),
+                global_decls: BTreeSet::new(),
+            };
+            (|| -> Result<Value> {
+                for stmt in &f.def.body {
+                    match self.exec_stmt(stmt, Some(&mut frame))? {
+                        Flow::Normal => {}
+                        Flow::Return(v) => return Ok(v),
+                        Flow::Break | Flow::Continue => {
+                            return Err(VineError::Lang("break/continue outside loop".into()))
+                        }
                     }
                 }
-            }
-            Ok(Value::None)
-        })();
+                Ok(Value::None)
+            })()
+        };
         self.globals = saved;
         result
     }
 
-    fn tick(&mut self) -> Result<()> {
+    /// The bytecode for a function value: from its inline cache, the
+    /// interpreter-wide cache, or compiled on first call. Functions created
+    /// by VM `MakeFunc` (including ones decoded from a shipped image) are
+    /// pre-seeded and never hit the compiler here.
+    fn compiled_for(&mut self, f: &Function) -> Rc<CompiledFn> {
+        if let Some(c) = f.compiled.borrow().as_ref() {
+            return Rc::clone(c);
+        }
+        let key = Rc::as_ptr(&f.def) as usize;
+        let code = match self.compiled.get(&key) {
+            Some((_, c)) => Rc::clone(c),
+            None => {
+                let c = Rc::new(compile::compile_function(&f.def));
+                self.compiled
+                    .insert(key, (Rc::clone(&f.def), Rc::clone(&c)));
+                c
+            }
+        };
+        *f.compiled.borrow_mut() = Some(Rc::clone(&code));
+        code
+    }
+
+    /// Record already-compiled bytecode for a definition so later function
+    /// values over the same `FuncDef` reuse it.
+    pub(crate) fn cache_compiled(&mut self, def: &Rc<FuncDef>, code: &Rc<CompiledFn>) {
+        let key = Rc::as_ptr(def) as usize;
+        self.compiled
+            .entry(key)
+            .or_insert_with(|| (Rc::clone(def), Rc::clone(code)));
+    }
+
+    pub(crate) fn take_slot_buf(&mut self) -> Vec<Option<Value>> {
+        self.slot_pool.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put_slot_buf(&mut self, mut buf: Vec<Option<Value>>) {
+        buf.clear();
+        if self.slot_pool.len() < 64 {
+            self.slot_pool.push(buf);
+        }
+    }
+
+    pub(crate) fn take_stack_buf(&mut self) -> Vec<Value> {
+        self.stack_pool.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn put_stack_buf(&mut self, mut buf: Vec<Value>) {
+        buf.clear();
+        if self.stack_pool.len() < 64 {
+            self.stack_pool.push(buf);
+        }
+    }
+
+    /// Global write that overwrites in place when the key exists, cloning
+    /// the name only for genuinely new bindings.
+    #[inline]
+    pub(crate) fn set_global_fast(&self, name: &str, value: Value) {
+        let mut globals = self.globals.borrow_mut();
+        match globals.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => {
+                globals.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tick(&mut self) -> Result<()> {
         self.steps += 1;
         if self.steps > self.step_limit {
             return Err(VineError::Lang(format!(
@@ -215,15 +325,15 @@ impl Interp {
         match &stmt.kind {
             StmtKind::Import(name) => {
                 let module = self.import_module(name)?;
-                self.assign_var(name.clone(), module, frame);
+                self.assign_var(name, module, frame);
                 Ok(Flow::Normal)
             }
             StmtKind::FuncDef(def) => {
-                let func = Value::Func(Rc::new(Function {
-                    def: Rc::clone(def),
-                    globals: Rc::clone(&self.globals),
-                }));
-                self.assign_var(def.name.clone(), func, frame);
+                let func = Value::Func(Rc::new(Function::new(
+                    Rc::clone(def),
+                    Rc::clone(&self.globals),
+                )));
+                self.assign_var(&def.name, func, frame);
                 Ok(Flow::Normal)
             }
             StmtKind::Global(names) => {
@@ -238,7 +348,7 @@ impl Interp {
             StmtKind::Assign(target, expr) => {
                 let value = self.eval(expr, frame.as_deref_mut())?;
                 match target {
-                    Target::Var(name) => self.assign_var(name.clone(), value, frame),
+                    Target::Var(name) => self.assign_var(name, value, frame),
                     Target::Index(obj, idx) => {
                         let obj_v = self.eval(obj, frame.as_deref_mut())?;
                         let idx_v = self.eval(idx, frame.as_deref_mut())?;
@@ -273,7 +383,7 @@ impl Interp {
                 let items = self.iterable_items(iter, frame.as_deref_mut())?;
                 for item in items {
                     self.tick()?;
-                    self.assign_var(var.clone(), item, frame.as_deref_mut());
+                    self.assign_var(var, item, frame.as_deref_mut());
                     match self.exec_block(body, frame.as_deref_mut())? {
                         Flow::Normal | Flow::Continue => {}
                         Flow::Break => break,
@@ -311,18 +421,23 @@ impl Interp {
         }
     }
 
-    fn assign_var(&mut self, name: String, value: Value, frame: Option<&mut Frame>) {
+    fn assign_var(&mut self, name: &str, value: Value, frame: Option<&mut Frame>) {
         match frame {
-            Some(fr) if !fr.global_decls.contains(&name) => {
-                fr.locals.insert(name, value);
+            Some(fr) if !fr.global_decls.contains(name) => {
+                // re-assignment overwrites in place; the name text is only
+                // cloned the first time a local is created
+                match fr.locals.get_mut(name) {
+                    Some(slot) => *slot = value,
+                    None => {
+                        fr.locals.insert(Rc::from(name), value);
+                    }
+                }
             }
-            _ => {
-                self.globals.borrow_mut().insert(name, value);
-            }
+            _ => self.set_global_fast(name, value),
         }
     }
 
-    fn index_assign(&mut self, obj: &Value, idx: &Value, value: Value) -> Result<()> {
+    pub(crate) fn index_assign(&mut self, obj: &Value, idx: &Value, value: Value) -> Result<()> {
         match obj {
             Value::List(items) => {
                 let i = idx.as_int()?;
@@ -349,7 +464,7 @@ impl Interp {
         }
     }
 
-    fn import_module(&mut self, name: &str) -> Result<Value> {
+    pub(crate) fn import_module(&mut self, name: &str) -> Result<Value> {
         if let Some(m) = self.loaded.get(name) {
             return Ok(m.clone());
         }
@@ -357,13 +472,15 @@ impl Interp {
             m
         } else if let Some(src) = self.registry.source_module(name).map(str::to_string) {
             // execute the module source in a fresh namespace sharing this
-            // registry, then wrap its globals as a module object
+            // registry, then adopt its globals map *as* the module's member
+            // table — the functions defined in it close over the same map,
+            // so no copy is needed (or wanted)
             let mut sub = Interp::with_registry(self.registry.clone());
+            sub.engine = self.engine;
             sub.exec_source(&src)?;
-            let members = sub.globals.borrow().clone();
             Value::Module(Rc::new(crate::value::ModuleObj {
                 name: name.to_string(),
-                members: RefCell::new(members),
+                members: Rc::clone(&sub.globals),
             }))
         } else {
             return Err(self.registry.missing(name));
@@ -459,10 +576,10 @@ impl Interp {
                 let r = self.eval(rhs, frame)?;
                 binary_op(*op, &l, &r)
             }
-            Expr::Lambda(def) => Ok(Value::Func(Rc::new(Function {
-                def: Rc::clone(def),
-                globals: Rc::clone(&self.globals),
-            }))),
+            Expr::Lambda(def) => Ok(Value::Func(Rc::new(Function::new(
+                Rc::clone(def),
+                Rc::clone(&self.globals),
+            )))),
         }
     }
 
@@ -490,7 +607,8 @@ impl Interp {
             .ok_or_else(|| VineError::Lang(format!("undefined variable: {name}")))
     }
 
-    fn index_get(&self, obj: &Value, idx: &Value) -> Result<Value> {
+    #[inline]
+    pub(crate) fn index_get(&self, obj: &Value, idx: &Value) -> Result<Value> {
         match obj {
             Value::List(items) => {
                 let items = items.borrow();
@@ -512,8 +630,8 @@ impl Interp {
                     .ok_or_else(|| VineError::Lang(format!("key not found: {k}")))
             }
             Value::Str(s) => {
-                let chars: Vec<char> = s.chars().collect();
-                let len = chars.len() as i64;
+                // iterate once instead of materializing a Vec<char> per index
+                let len = s.chars().count() as i64;
                 let i = idx.as_int()?;
                 let i = if i < 0 { i + len } else { i };
                 if i < 0 || i >= len {
@@ -521,7 +639,8 @@ impl Interp {
                         "string index {i} out of range (len {len})"
                     )));
                 }
-                Ok(Value::str(chars[i as usize].to_string()))
+                let c = s.chars().nth(i as usize).expect("index checked in range");
+                Ok(Value::str(c.to_string()))
             }
             Value::Tensor(t) => {
                 let i = idx.as_int()?;
@@ -546,10 +665,7 @@ impl Interp {
     /// a worker.
     pub fn bind_function(&mut self, def: Rc<FuncDef>) {
         let name = def.name.clone();
-        let func = Value::Func(Rc::new(Function {
-            def,
-            globals: Rc::clone(&self.globals),
-        }));
+        let func = Value::Func(Rc::new(Function::new(def, Rc::clone(&self.globals))));
         self.globals.borrow_mut().insert(name, func);
     }
 }
@@ -557,6 +673,7 @@ impl Interp {
 /// Apply a unary operator to an already-evaluated value. Public for the
 /// same reason as [`binary_op`]: constant folding must share the runtime's
 /// exact semantics.
+#[inline]
 pub fn unary_op(op: UnOp, v: &Value) -> Result<Value> {
     match op {
         UnOp::Neg => match v {
@@ -577,6 +694,7 @@ pub fn unary_op(op: UnOp, v: &Value) -> Result<Value> {
 /// checks, same division rules — guaranteeing fold-then-run never diverges
 /// from run. `And`/`Or` are short-circuited in `eval` and must not be
 /// passed here.
+#[inline]
 pub fn binary_op(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     use BinOp::*;
     use Value::*;

@@ -48,6 +48,8 @@
 pub mod ast;
 pub mod autocontext;
 pub mod builtins;
+pub mod bytecode;
+pub mod compile;
 pub mod inspect;
 pub mod interp;
 pub mod lexer;
@@ -55,9 +57,12 @@ pub mod modules;
 pub mod parser;
 pub mod pickle;
 pub mod value;
+pub(crate) mod vm;
 
 pub use ast::{BinOp, Expr, FuncDef, Program, Span, Stmt, StmtKind, Target, UnOp};
-pub use interp::Interp;
+pub use bytecode::{CompiledFn, CompiledModule};
+pub use compile::{compile_module, compile_program};
+pub use interp::{Engine, Interp};
 pub use modules::ModuleRegistry;
 pub use value::Value;
 

@@ -71,7 +71,7 @@ impl ModuleRegistry {
             .collect();
         Some(Value::Module(Rc::new(ModuleObj {
             name: name.to_string(),
-            members: RefCell::new(members),
+            members: Rc::new(RefCell::new(members)),
         })))
     }
 

@@ -257,10 +257,7 @@ fn read_value(r: &mut Reader, globals: &Rc<RefCell<BTreeMap<String, Value>>>) ->
         }
         tag::FUNC => {
             let def = read_funcdef(r)?;
-            Value::Func(Rc::new(Function {
-                def: Rc::new(def),
-                globals: Rc::clone(globals),
-            }))
+            Value::Func(Rc::new(Function::new(Rc::new(def), Rc::clone(globals))))
         }
         other => return Err(derr(format!("unknown value tag {other}"))),
     })

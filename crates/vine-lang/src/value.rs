@@ -65,6 +65,25 @@ pub struct Function {
     /// The defining interpreter's globals. Functions read module-level
     /// state (e.g. a model registered by `context_setup`) through this.
     pub globals: Rc<RefCell<BTreeMap<String, Value>>>,
+    /// Parameter names interned once at construction, so every call binds
+    /// arguments with `Rc` clones instead of fresh `String` allocations.
+    pub param_names: Vec<Rc<str>>,
+    /// Lazily attached bytecode (see [`crate::compile`]); filled on first
+    /// VM call, or pre-seeded when the function comes from a shipped
+    /// compiled image, so repeat invocations never recompile.
+    pub compiled: RefCell<Option<Rc<crate::bytecode::CompiledFn>>>,
+}
+
+impl Function {
+    pub fn new(def: Rc<FuncDef>, globals: Rc<RefCell<BTreeMap<String, Value>>>) -> Function {
+        let param_names = def.params.iter().map(|p| Rc::from(p.as_str())).collect();
+        Function {
+            def,
+            globals,
+            param_names,
+            compiled: RefCell::new(None),
+        }
+    }
 }
 
 impl fmt::Debug for Function {
@@ -99,7 +118,11 @@ impl fmt::Debug for NativeFunc {
 #[derive(Debug)]
 pub struct ModuleObj {
     pub name: String,
-    pub members: RefCell<BTreeMap<String, Value>>,
+    /// Shared by `Rc` with the defining interpreter's globals for source
+    /// modules, so module functions that mutate their own module-level
+    /// state stay visible through attribute reads — and importing never
+    /// clones the whole namespace.
+    pub members: Rc<RefCell<BTreeMap<String, Value>>>,
 }
 
 /// Any vinescript value.

@@ -1,0 +1,133 @@
+//! Golden-disassembly tests: the compiler's output for fixed sources is
+//! pinned as exact text, so instruction-selection or encoding changes are
+//! reviewed deliberately instead of slipping through. The disassembler is
+//! also the roundtrip oracle — an image must disassemble identically after
+//! `to_bytes`/`from_bytes`.
+
+use vine_lang::bytecode::{disassemble, from_bytes};
+
+fn disasm(src: &str) -> String {
+    let prog = vine_lang::parse(src).unwrap();
+    let m = vine_lang::compile_module(&prog, src);
+    disassemble(&m.top)
+}
+
+#[test]
+fn module_with_function_loop_dict_and_lambda() {
+    let src = r#"import util
+base = 10
+def scale(x) {
+    global base
+    s = 0
+    for i in range(x) {
+        if i % 2 == 0 { continue }
+        s = s + i * base
+    }
+    return s
+}
+table = {"a": scale(4), "b": util.triple(base) or 0}
+f = fn (v) { return v + base }
+"#;
+    // Note: `global base` in scale compiles to no instruction — `base` has
+    // no local slot there, so the declaration cannot change any resolution.
+    let expected = "\
+fn <module>(params=0, slots=0)
+     0 import     util
+     1 store_glb  util
+     2 const      0 ; 10
+     3 store_glb  base
+     4 make_fn    0 ; scale
+     5 store_glb  scale
+     6 const      1 ; \"a\"
+     7 check_key
+     8 const      2 ; 4
+     9 call_named scale argc=1 slot=-
+    10 const      3 ; \"b\"
+    11 check_key
+    12 load_glb   base
+    13 load_glb   util
+    14 load_attr  triple
+    15 call_value argc=1
+    16 jt_keep    -> 19
+    17 pop
+    18 const      4 ; 0
+    19 make_dict  2
+    20 store_glb  table
+    21 make_fn    1 ; <lambda>
+    22 store_glb  f
+fn scale(params=1, slots=3 [x s i])
+     0 const      0 ; 0
+     1 store_loc  1:s
+     2 load_loc   0:x
+     3 call_named range argc=1 slot=-
+     4 make_iter
+     5 for_iter   2:i -> 18
+     6 binary_lc  Mod 2:i 1 ; 2
+     7 binary_sc  Eq 0 ; 0
+     8 jf         -> 11
+     9 jump       -> 5
+    10 jump       -> 11
+    11 load_loc   1:s
+    12 load_loc   2:i
+    13 load_glb   base
+    14 binary     Mul
+    15 binary     Add
+    16 store_loc  1:s
+    17 jump       -> 5
+    18 ret_loc    1:s
+    19 ret_const  2 ; none
+fn <lambda>(params=1, slots=1 [v])
+     0 load_loc   0:v
+     1 load_glb   base
+     2 binary     Add
+     3 return
+     4 ret_const  0 ; none
+";
+    assert_eq!(disasm(src), expected);
+}
+
+#[test]
+fn dynamic_control_flow_errors_compile_to_raise() {
+    let src = "break\nreturn 7\n";
+    let expected = "\
+fn <module>(params=0, slots=0)
+     0 raise      break/continue outside loop
+     1 const      0 ; 7
+     2 raise      return outside function
+";
+    assert_eq!(disasm(src), expected);
+}
+
+#[test]
+fn shadowable_call_carries_its_slot() {
+    // calling a name that *is* a local slot: the instruction records the
+    // slot so the VM can apply the tree-walker's shadowing rule
+    let src = "def apply(f, x) { return f(x) }\n";
+    let expected = "\
+fn <module>(params=0, slots=0)
+     0 make_fn    0 ; apply
+     1 store_glb  apply
+fn apply(params=2, slots=2 [f x])
+     0 load_loc   1:x
+     1 call_named f argc=1 slot=0:f
+     2 return
+     3 ret_const  0 ; none
+";
+    assert_eq!(disasm(src), expected);
+}
+
+#[test]
+fn wire_roundtrip_disassembles_identically() {
+    let src = r#"
+def work(t) {
+    acc = []
+    for c in "ab" { push(acc, c) }
+    while t > 0 { t = t - 1 }
+    return len(acc) and t
+}
+"#;
+    let prog = vine_lang::parse(src).unwrap();
+    let m = vine_lang::compile_module(&prog, src);
+    let back = from_bytes(&m.to_bytes()).unwrap();
+    assert_eq!(disassemble(&m.top), disassemble(&back));
+}

@@ -1,0 +1,399 @@
+//! Differential property test: the bytecode VM and the tree-walking
+//! interpreter must be observationally *identical* on generated modules —
+//! same work-function results, same printed output, same final global
+//! namespace, and (stricter than agreement) byte-identical error strings,
+//! raised at the same invocation. This is what licenses the runtime to
+//! switch library daemons to the VM while keeping the tree-walker as the
+//! reference semantics.
+//!
+//! The generator leans into the hazards: closures over globals with late
+//! binding, `global` declarations inside branches, builtin shadowing,
+//! `eval`/`exec` re-entering the interpreter mid-call, dynamic `return`/
+//! `break` misplacement, short-circuit operands, dict-key evaluation
+//! order, possibly-out-of-range indexing, and source-module imports.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vine_lang::{Engine, Interp, ModuleRegistry, Value};
+
+/// xorshift64* — deterministic per-case source of structure.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+}
+
+#[derive(Default)]
+struct Defined {
+    ints: Vec<String>,
+    lists: Vec<String>,
+    helpers: Vec<String>,
+}
+
+fn int_expr(rng: &mut Rng, env: &Defined, depth: usize) -> String {
+    if depth == 0 || env.ints.is_empty() && rng.chance(50) {
+        return format!("{}", rng.below(20));
+    }
+    match rng.below(7) {
+        0 => format!("{}", rng.below(20)),
+        1 if !env.ints.is_empty() => env.ints[rng.below(env.ints.len())].clone(),
+        2 if !env.lists.is_empty() => format!("len({})", env.lists[rng.below(env.lists.len())]),
+        3 => format!(
+            "({} + {})",
+            int_expr(rng, env, depth - 1),
+            int_expr(rng, env, depth - 1)
+        ),
+        4 => format!("({} * {})", int_expr(rng, env, depth - 1), rng.below(5)),
+        // short-circuit yielding the deciding operand
+        5 => format!(
+            "({} {} {})",
+            int_expr(rng, env, depth - 1),
+            if rng.chance(50) { "and" } else { "or" },
+            int_expr(rng, env, depth - 1)
+        ),
+        _ => format!(
+            "({} - {})",
+            int_expr(rng, env, depth - 1),
+            int_expr(rng, env, depth - 1)
+        ),
+    }
+}
+
+fn cond_expr(rng: &mut Rng, env: &Defined) -> String {
+    match rng.below(3) {
+        0 => format!("{} < {}", int_expr(rng, env, 1), int_expr(rng, env, 1)),
+        1 => format!("{} == {}", int_expr(rng, env, 1), int_expr(rng, env, 1)),
+        _ => if rng.chance(50) { "true" } else { "false" }.to_string(),
+    }
+}
+
+/// One generated module defining `work(t)` plus whatever state it reads.
+fn gen_module(seed: u64) -> String {
+    let mut rng = Rng::new(seed);
+    let mut env = Defined::default();
+    let mut out = String::new();
+    let mut helper_id = 0usize;
+
+    if rng.chance(35) {
+        out.push_str("import util\n");
+    }
+
+    let n_stmts = 5 + rng.below(8);
+    for i in 0..n_stmts {
+        match rng.below(11) {
+            0 | 1 => {
+                let name = format!("g{i}");
+                out.push_str(&format!("{name} = {}\n", int_expr(&mut rng, &env, 2)));
+                env.ints.push(name);
+            }
+            2 => {
+                let name = format!("l{i}");
+                out.push_str(&format!(
+                    "{name} = [{}, {}]\n",
+                    int_expr(&mut rng, &env, 1),
+                    int_expr(&mut rng, &env, 1)
+                ));
+                env.lists.push(name);
+            }
+            3 if !env.lists.is_empty() => {
+                let l = env.lists[rng.below(env.lists.len())].clone();
+                out.push_str(&format!("push({l}, {})\n", int_expr(&mut rng, &env, 1)));
+            }
+            4 if !env.lists.is_empty() => {
+                let l = env.lists[rng.below(env.lists.len())].clone();
+                out.push_str(&format!(
+                    "{l}[{}] = {}\n",
+                    rng.below(2),
+                    int_expr(&mut rng, &env, 1)
+                ));
+            }
+            // module-level loop with break/continue
+            5 => {
+                let name = format!("t{i}");
+                out.push_str(&format!(
+                    "{name} = []\nfor i{i} in range({}) {{\n    if i{i} == {} {{ continue }}\n    \
+                     if i{i} > {} {{ break }}\n    push({name}, i{i} * {})\n}}\n",
+                    3 + rng.below(5),
+                    rng.below(3),
+                    2 + rng.below(4),
+                    1 + rng.below(3)
+                ));
+                env.lists.push(name);
+            }
+            // dict with ordered key evaluation + iteration over its keys
+            6 => {
+                let name = format!("d{i}");
+                out.push_str(&format!(
+                    "{name} = {{\"a\": {}, \"b\": {}}}\nacc{i} = \"\"\nfor k{i} in {name} {{ acc{i} = acc{i} + k{i} }}\n",
+                    int_expr(&mut rng, &env, 1),
+                    int_expr(&mut rng, &env, 1)
+                ));
+            }
+            // module-level branch, sometimes reassigning an existing int
+            7 => {
+                let name = if !env.ints.is_empty() && rng.chance(40) {
+                    env.ints[rng.below(env.ints.len())].clone()
+                } else {
+                    let fresh = format!("b{i}");
+                    env.ints.push(fresh.clone());
+                    fresh
+                };
+                out.push_str(&format!(
+                    "if {} {{\n    {name} = {}\n}} else {{\n    {name} = {}\n}}\n",
+                    cond_expr(&mut rng, &env),
+                    int_expr(&mut rng, &env, 1),
+                    int_expr(&mut rng, &env, 1)
+                ));
+            }
+            8 => {
+                out.push_str(&format!("print({})\n", int_expr(&mut rng, &env, 1)));
+            }
+            // builtin shadowing: a user `len` that later code may call
+            9 if rng.chance(30) => {
+                out.push_str("def len(x) { return 999 }\n");
+                env.helpers.push("len".into());
+            }
+            // helper definition exercising closures, global-in-branch,
+            // eval/exec, loops, lambdas
+            _ => {
+                let name = format!("h{helper_id}");
+                helper_id += 1;
+                let body = match rng.below(8) {
+                    0 => format!("    return a + {}\n", int_expr(&mut rng, &env, 1)),
+                    // late-bound closure over a global
+                    1 if !env.ints.is_empty() => {
+                        let g = &env.ints[rng.below(env.ints.len())];
+                        format!("    return a * {g}\n")
+                    }
+                    // global write from inside the function
+                    2 if !env.ints.is_empty() => {
+                        let g = env.ints[rng.below(env.ints.len())].clone();
+                        format!("    global {g}\n    {g} = {g} + a\n    return {g}\n")
+                    }
+                    // `global` executed only on one branch: the declaration
+                    // is dynamic, so the other branch writes a local
+                    3 if !env.ints.is_empty() => {
+                        let g = env.ints[rng.below(env.ints.len())].clone();
+                        format!(
+                            "    if a > {} {{\n        global {g}\n    }}\n    {g} = a\n    return {g}\n",
+                            rng.below(3)
+                        )
+                    }
+                    4 => "    print(a)\n    return a\n".to_string(),
+                    // eval re-enters the interpreter mid-call
+                    5 => "    return eval(\"3 + 4\") + a\n".to_string(),
+                    // exec defines a function dynamically, then calls it
+                    6 => {
+                        "    exec(\"def dyn(v) { return v + 1 }\")\n    return dyn(a)\n".to_string()
+                    }
+                    // local loop with a lambda applied per element
+                    _ => format!(
+                        "    f = fn (v) {{ return v * {} }}\n    s = 0\n    for i in range(a) {{ s = s + f(i) }}\n    return s\n",
+                        1 + rng.below(3)
+                    ),
+                };
+                out.push_str(&format!("def {name}(a) {{\n{body}}}\n"));
+                env.helpers.push(name);
+            }
+        }
+    }
+
+    // the work function
+    let mut body = String::new();
+    if !env.ints.is_empty() && rng.chance(60) {
+        let g = env.ints[rng.below(env.ints.len())].clone();
+        body.push_str(&format!("    global {g}\n    {g} = {g} + t\n"));
+    }
+    if !env.lists.is_empty() && rng.chance(40) {
+        let l = env.lists[rng.below(env.lists.len())].clone();
+        body.push_str(&format!("    push({l}, t)\n"));
+    }
+    let mut ret = int_expr(&mut rng, &env, 2);
+    if !env.helpers.is_empty() && rng.chance(60) {
+        let h = env.helpers[rng.below(env.helpers.len())].clone();
+        ret = format!("{h}({ret})");
+    }
+    // error paths: both engines must fail with byte-identical messages at
+    // the same invocation
+    if rng.chance(20) {
+        ret = match rng.below(4) {
+            0 if !env.lists.is_empty() => {
+                format!("{}[90 + t]", env.lists[rng.below(env.lists.len())])
+            }
+            1 => format!("({ret}) + no_such_var"),
+            2 if !env.helpers.is_empty() => {
+                format!(
+                    "{}({ret}, {ret})",
+                    env.helpers[rng.below(env.helpers.len())]
+                )
+            }
+            _ => format!("({ret}) / (t - 1)"),
+        };
+    }
+    body.push_str(&format!("    return {ret} + t\n"));
+    out.push_str(&format!("def work(t) {{\n{body}}}\n"));
+    out
+}
+
+/// Everything observable about one module execution: the module-level
+/// outcome, each invocation's result-or-error, all printed output, and
+/// the final data globals.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    boot: Result<(), String>,
+    invocations: Vec<Result<String, String>>,
+    output: Vec<String>,
+    globals: BTreeMap<String, String>,
+}
+
+fn registry() -> ModuleRegistry {
+    let mut reg = ModuleRegistry::new();
+    reg.register_source(
+        "util",
+        "factor = 3\ndef triple(x) { return x * factor }\ndef tag(s) { return \"<\" + s + \">\" }\n",
+    );
+    reg
+}
+
+fn run(src: &str, engine: Engine) -> Observed {
+    let mut interp = Interp::with_registry(registry());
+    interp.engine = engine;
+    let boot = interp.exec_source(src).map_err(|e| e.to_string());
+    let mut invocations = Vec::new();
+    if boot.is_ok() {
+        for t in 0..3i64 {
+            invocations.push(
+                interp
+                    .call_global("work", &[Value::Int(t)])
+                    .map(|v| format!("{v}"))
+                    .map_err(|e| e.to_string()),
+            );
+        }
+    }
+    let globals: BTreeMap<String, String> = interp
+        .global_names()
+        .into_iter()
+        .filter_map(|n| {
+            let v = interp.get_global(&n)?;
+            if matches!(v, Value::Func(_) | Value::Native(_) | Value::Module(_)) {
+                None
+            } else {
+                Some((n, format!("{v}")))
+            }
+        })
+        .collect();
+    Observed {
+        boot,
+        invocations,
+        output: interp.output.clone(),
+        globals,
+    }
+}
+
+fn check_case(seed: u64) -> Result<(), proptest::test_runner::TestCaseError> {
+    let src = gen_module(seed);
+    let tree = run(&src, Engine::Tree);
+    let vm = run(&src, Engine::Vm);
+    if tree != vm {
+        return Err(proptest::test_runner::TestCaseError::fail(format!(
+            "engine divergence\n--- module ---\n{src}\n--- tree ---\n{tree:?}\n--- vm ---\n{vm:?}"
+        )));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn vm_execution_is_bit_identical_to_tree_walker(seed in any::<u64>()) {
+        check_case(seed)?;
+    }
+}
+
+/// Targeted cases the generator may only rarely hit: each must produce the
+/// same observables (including exact error text) on both engines.
+#[test]
+fn vm_matches_tree_on_hazard_corpus() {
+    let cases = [
+        // return at module level: value evaluates (print runs), then errors
+        "print(1)\nreturn print(2)\n",
+        // break outside any loop
+        "if true { break }\n",
+        // argument evaluation precedes callee resolution
+        "def work(t) { return no_such_fn(print(t)) }\n",
+        // dict key type error fires before the value expression
+        "def work(t) { d = {1: no_such } return 0 }\n",
+        // and/or return the deciding operand itself
+        "x = 0 and 5\ny = 3 or no_such\ndef work(t) { return x + y }\n",
+        // global declared mid-function, after a local read fell through
+        "g = 10\ndef work(t) {\n    a = g\n    global g\n    g = a + t\n    return g\n}\n",
+        // duplicate parameter names: last binding wins
+        "def work(t, t) { return t }\n",
+        // builtin shadowed by a global only after first invocation
+        "def work(t) {\n    if t == 2 {\n        global len\n        len = fn (x) {  return 777 }\n    }\n    return len([1])\n}\n",
+        // string indexing, negative indices, and char iteration
+        "s = \"hello\"\nacc = \"\"\nfor c in s { acc = acc + c }\ndef work(t) { return s[-1] + s[t] }\n",
+        // import binds in a local frame when executed inside a function
+        "def work(t) {\n    import util\n    return util.triple(t)\n}\n",
+        // step limit: both engines abort a runaway loop with the same error
+        "while true { x = 1 }\n",
+    ];
+    for src in cases {
+        let tree = run_limited(src, Engine::Tree);
+        let vm = run_limited(src, Engine::Vm);
+        assert_eq!(tree, vm, "divergence on:\n{src}");
+    }
+}
+
+fn run_limited(src: &str, engine: Engine) -> Observed {
+    let mut interp = Interp::with_registry(registry());
+    interp.engine = engine;
+    interp.step_limit = 100_000;
+    let boot = interp.exec_source(src).map_err(|e| e.to_string());
+    let mut invocations = Vec::new();
+    if boot.is_ok() && interp.get_global("work").is_some() {
+        for t in 0..3i64 {
+            invocations.push(
+                interp
+                    .call_global("work", &[Value::Int(t)])
+                    .map(|v| format!("{v}"))
+                    .map_err(|e| e.to_string()),
+            );
+        }
+    }
+    let globals: BTreeMap<String, String> = interp
+        .global_names()
+        .into_iter()
+        .filter_map(|n| {
+            let v = interp.get_global(&n)?;
+            if matches!(v, Value::Func(_) | Value::Native(_) | Value::Module(_)) {
+                None
+            } else {
+                Some((n, format!("{v}")))
+            }
+        })
+        .collect();
+    Observed {
+        boot,
+        invocations,
+        output: interp.output.clone(),
+        globals,
+    }
+}

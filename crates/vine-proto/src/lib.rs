@@ -21,4 +21,4 @@ pub mod messages;
 
 pub use framing::{read_frame, write_frame, FrameError, MAX_FRAME};
 pub use library::{LibraryToWorker, WorkerToLibrary};
-pub use messages::{LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};
+pub use messages::{CompiledBlob, LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};

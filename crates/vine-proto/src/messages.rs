@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use vine_core::context::FileRef;
-use vine_core::ids::{LibraryInstanceId, WorkerId};
+use vine_core::ids::{ContentHash, LibraryInstanceId, WorkerId};
 use vine_core::resources::Resources;
 use vine_core::task::{ExecMode, FunctionCall, Outcome, TaskSpec, WorkUnit};
 
@@ -19,6 +19,17 @@ use vine_core::task::{ExecMode, FunctionCall, Outcome, TaskSpec, WorkUnit};
 pub struct LibrarySetup {
     pub function: String,
     pub args_blob: Vec<u8>,
+}
+
+/// A compiled library module, content-addressed by the digest of the
+/// source it was compiled from. The manager compiles once per distinct
+/// source at install time; workers intern the bytes by digest so many
+/// instances of one library share one copy, and daemons boot by executing
+/// the image instead of re-parsing the source.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompiledBlob {
+    pub source_digest: ContentHash,
+    pub bytes: Vec<u8>,
 }
 
 /// Everything a worker needs to boot a library daemon (what the manager
@@ -33,6 +44,9 @@ pub struct LibraryImage {
     /// Context setup to run once on boot, if the library declares one.
     pub setup: Option<LibrarySetup>,
     pub default_mode: ExecMode,
+    /// Bytecode compiled from `source` at install time, if the manager
+    /// produced one. Daemons without it fall back to parsing the source.
+    pub compiled: Option<CompiledBlob>,
 }
 
 /// Messages the manager sends a worker.

@@ -15,7 +15,7 @@ use vine_core::ids::{ContentHash, FileId, InvocationId, LibraryInstanceId, TaskI
 use vine_core::resources::Resources;
 use vine_core::task::{ExecMode, FunctionCall, Outcome, TaskSpec, UnitId, WorkProfile, WorkUnit};
 use vine_proto::{
-    read_frame, write_frame, FrameError, LibraryImage, LibrarySetup, LibraryToWorker,
+    read_frame, write_frame, CompiledBlob, FrameError, LibraryImage, LibrarySetup, LibraryToWorker,
     ManagerToWorker, WorkerToLibrary, WorkerToManager, MAX_FRAME,
 };
 
@@ -153,6 +153,13 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
     })
 }
 
+fn arb_compiled_blob() -> impl Strategy<Value = CompiledBlob> {
+    (any::<u128>(), arb_blob()).prop_map(|(digest, bytes)| CompiledBlob {
+        source_digest: ContentHash(digest),
+        bytes,
+    })
+}
+
 fn arb_library_image() -> impl Strategy<Value = LibraryImage> {
     (
         any::<u64>(),
@@ -160,8 +167,9 @@ fn arb_library_image() -> impl Strategy<Value = LibraryImage> {
         prop::collection::vec(arb_blob(), 0..3),
         prop::option::of((arb_name(), arb_blob())),
         arb_exec_mode(),
+        prop::option::of(arb_compiled_blob()),
     )
-        .prop_map(|(id, source, blobs, setup, mode)| LibraryImage {
+        .prop_map(|(id, source, blobs, setup, mode, compiled)| LibraryImage {
             instance: LibraryInstanceId(id),
             source,
             serialized_functions: blobs,
@@ -170,6 +178,7 @@ fn arb_library_image() -> impl Strategy<Value = LibraryImage> {
                 args_blob,
             }),
             default_mode: mode,
+            compiled,
         })
 }
 

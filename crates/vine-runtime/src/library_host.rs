@@ -5,7 +5,7 @@ use std::thread::JoinHandle;
 use vine_core::ids::{LibraryInstanceId, WorkerId};
 use vine_core::task::ExecMode;
 use vine_lang::pickle;
-use vine_lang::{Interp, ModuleRegistry, Value};
+use vine_lang::{Engine, Interp, ModuleRegistry, Value};
 use vine_proto::{LibraryToWorker, WorkerToLibrary};
 
 pub use vine_proto::{LibraryImage, LibrarySetup};
@@ -51,12 +51,30 @@ fn daemon_main(
     events: Sender<(WorkerId, LibraryInstanceId, LibraryToWorker)>,
 ) {
     let instance = image.instance;
-    // §3.4 step 2: boot, reconstruct code, run all context setup, report
+    // §3.4 step 2: boot, reconstruct code, run all context setup, report.
+    // Library daemons run on the bytecode VM: the compiled module is part
+    // of the retained context, so every invocation skips tree-walking.
     let mut interp = Interp::with_registry(registry);
+    interp.engine = Engine::Vm;
     let boot = (|| -> Result<(), String> {
-        interp
-            .exec_source(&image.source)
-            .map_err(|e| format!("library source: {e}"))?;
+        match &image.compiled {
+            // the manager shipped a compiled image: boot without parsing
+            // or compiling (decode errors fall back to the source text)
+            Some(blob) => match vine_lang::bytecode::from_bytes(&blob.bytes) {
+                Ok(top) => interp
+                    .exec_compiled(&vine_lang::CompiledModule {
+                        top,
+                        source_digest: blob.source_digest,
+                    })
+                    .map_err(|e| format!("library source: {e}"))?,
+                Err(_) => interp
+                    .exec_source(&image.source)
+                    .map_err(|e| format!("library source: {e}"))?,
+            },
+            None => interp
+                .exec_source(&image.source)
+                .map_err(|e| format!("library source: {e}"))?,
+        }
         for blob in &image.serialized_functions {
             let def = pickle::deserialize_funcdef(blob).map_err(|e| format!("code object: {e}"))?;
             interp.bind_function(def);
@@ -150,6 +168,7 @@ fn run_forked(interp: &Interp, function: &str, args_blob: &[u8]) -> Result<Vec<u
         .name("library-fork".into())
         .spawn(move || -> Result<Vec<u8>, String> {
             let mut child_interp = Interp::with_registry(registry);
+            child_interp.engine = Engine::Vm;
             for (k, blob) in plain {
                 let v = pickle::deserialize_value(&blob, &child_interp.globals)
                     .map_err(|e| e.to_string())?;
@@ -212,6 +231,7 @@ mod tests {
                 args_blob: pickle::serialize_args(&[Value::Int(1000)]).unwrap(),
             }),
             default_mode: mode,
+            compiled: None,
         };
         let host = spawn_library(WorkerId(0), image, ModuleRegistry::new(), etx);
         match erx.recv().unwrap() {
@@ -295,6 +315,7 @@ mod tests {
             serialized_functions: vec![],
             setup: None,
             default_mode: ExecMode::Direct,
+            compiled: None,
         };
         let host = spawn_library(WorkerId(0), image, ModuleRegistry::new(), etx);
         match erx.recv().unwrap() {
@@ -327,6 +348,7 @@ mod tests {
             }],
             setup: None,
             default_mode: ExecMode::Direct,
+            compiled: None,
         };
         let host = spawn_library(WorkerId(0), image, ModuleRegistry::new(), etx);
         assert!(matches!(erx.recv().unwrap().2, LibraryToWorker::Ready));
@@ -340,6 +362,60 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out, Value::Int(83));
+        host.tx.send(WorkerToLibrary::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn compiled_image_boots_and_serves() {
+        // ship bytecode alongside the source: the daemon must boot from
+        // the image and behave exactly like a source boot
+        let prog = vine_lang::parse(SRC).unwrap();
+        let module = vine_lang::compile_module(&prog, SRC);
+        let (etx, erx) = crossbeam::channel::unbounded();
+        let image = LibraryImage {
+            instance: LibraryInstanceId(4),
+            source: SRC.into(),
+            serialized_functions: vec![],
+            setup: Some(LibrarySetup {
+                function: "context_setup".into(),
+                args_blob: pickle::serialize_args(&[Value::Int(1000)]).unwrap(),
+            }),
+            default_mode: ExecMode::Direct,
+            compiled: Some(vine_proto::CompiledBlob {
+                source_digest: module.source_digest,
+                bytes: module.to_bytes(),
+            }),
+        };
+        let host = spawn_library(WorkerId(0), image, ModuleRegistry::new(), etx);
+        assert!(matches!(erx.recv().unwrap().2, LibraryToWorker::Ready));
+        let a = invoke(&host, &erx, 1, "bump", &[Value::Int(5)], ExecMode::Direct).unwrap();
+        assert_eq!(a, Value::Int(1006));
+        let b = invoke(&host, &erx, 2, "bump", &[Value::Int(5)], ExecMode::Direct).unwrap();
+        assert_eq!(b, Value::Int(1007), "retained context, VM engine");
+        host.tx.send(WorkerToLibrary::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn corrupt_compiled_image_falls_back_to_source() {
+        let (etx, erx) = crossbeam::channel::unbounded();
+        let image = LibraryImage {
+            instance: LibraryInstanceId(5),
+            source: SRC.into(),
+            serialized_functions: vec![],
+            setup: Some(LibrarySetup {
+                function: "context_setup".into(),
+                args_blob: pickle::serialize_args(&[Value::Int(1000)]).unwrap(),
+            }),
+            default_mode: ExecMode::Direct,
+            compiled: Some(vine_proto::CompiledBlob {
+                source_digest: vine_core::ids::ContentHash::of_str(SRC),
+                bytes: vec![0xde, 0xad],
+            }),
+        };
+        let host = spawn_library(WorkerId(0), image, ModuleRegistry::new(), etx);
+        assert!(matches!(erx.recv().unwrap().2, LibraryToWorker::Ready));
+        let a = invoke(&host, &erx, 1, "bump", &[Value::Int(5)], ExecMode::Direct).unwrap();
+        assert_eq!(a, Value::Int(1006));
         host.tx.send(WorkerToLibrary::Shutdown).unwrap();
     }
 }

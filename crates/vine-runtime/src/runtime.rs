@@ -6,14 +6,15 @@ use crate::transport::{InProcTransport, RecvError, Transport, TransportEvent};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 use vine_core::context::LibrarySpec;
-use vine_core::ids::WorkerId;
+use vine_core::ids::{ContentHash, WorkerId};
 use vine_core::resources::Resources;
 use vine_core::task::{ExecMode, Outcome, UnitId, WorkUnit};
 use vine_core::{Result, VineError};
+use vine_data::CompiledImageStore;
 use vine_lang::pickle;
 use vine_lang::{ModuleRegistry, Value};
 use vine_manager::{Decision, Manager};
-use vine_proto::{LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};
+use vine_proto::{CompiledBlob, LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};
 
 /// Live cluster configuration.
 #[derive(Clone)]
@@ -44,6 +45,9 @@ struct LibraryTemplate {
     mode: ExecMode,
     /// Parameter count per exported function, for submit-time validation.
     arities: BTreeMap<String, usize>,
+    /// Bytecode compiled from `source` at install time (content-addressed
+    /// by source digest), shipped inside every image of this library.
+    compiled: Option<CompiledBlob>,
 }
 
 /// A live cluster: manager in this struct, workers wherever the transport
@@ -67,6 +71,9 @@ pub struct Runtime {
     module_names: BTreeSet<String>,
     /// Capacity of each admitted worker, retained for placement pre-flight.
     worker_caps: Vec<Resources>,
+    /// Compiled library images interned by source digest: installing the
+    /// same source N times (or into N workers) compiles once.
+    images: CompiledImageStore,
 }
 
 impl Runtime {
@@ -96,6 +103,7 @@ impl Runtime {
             idle_timeout: cfg.idle_timeout,
             module_names,
             worker_caps: Vec::new(),
+            images: CompiledImageStore::new(),
         };
         while rt.connected.len() < cfg.workers {
             let joined = rt.connected.len();
@@ -149,6 +157,7 @@ impl Runtime {
         if !report.is_clean() {
             eprintln!("{}", report.render());
         }
+        let mut compiled = None;
         if !source.is_empty() {
             if let Ok(prog) = vine_lang::parse(source) {
                 for s in &prog {
@@ -156,6 +165,16 @@ impl Runtime {
                         arities.insert(f.name.clone(), f.params.len());
                     }
                 }
+                // compile-on-install: the image is context computed once on
+                // the manager, content-addressed by the source digest
+                let digest = ContentHash::of_str(source);
+                let bytes = self.images.intern_with(digest, || {
+                    vine_lang::compile_module(&prog, source).to_bytes()
+                });
+                compiled = Some(CompiledBlob {
+                    source_digest: digest,
+                    bytes: (*bytes).clone(),
+                });
             }
         }
         arities.retain(|name, _| spec.hosts_function(name));
@@ -172,6 +191,7 @@ impl Runtime {
                 setup_args_blob,
                 mode: spec.exec_mode,
                 arities,
+                compiled,
             },
         );
         self.mgr.register_library(spec);
@@ -369,6 +389,7 @@ impl Runtime {
                                 .unwrap_or_else(|| s.args_blob.clone()),
                         }),
                         default_mode: template.mode,
+                        compiled: template.compiled.clone(),
                     };
                     self.send(
                         worker,
@@ -505,6 +526,12 @@ impl Runtime {
             }
         }
         Ok(())
+    }
+
+    /// Hit/miss counters of the manager's compiled-image store: misses are
+    /// actual compiles, hits are installs that reused a retained image.
+    pub fn compiled_image_stats(&self) -> vine_data::images::ImageStoreStats {
+        self.images.stats()
     }
 
     /// Deployed library instances and their share values (live Fig 11).

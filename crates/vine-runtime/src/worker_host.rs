@@ -12,9 +12,12 @@ use std::thread::JoinHandle;
 use vine_core::context::CodeArtifact;
 use vine_core::ids::{LibraryInstanceId, WorkerId};
 use vine_core::task::{Outcome, TaskSpec, UnitId, WorkUnit};
+use vine_data::CompiledImageStore;
 use vine_lang::pickle;
 use vine_lang::{Interp, ModuleRegistry};
-use vine_proto::{LibraryToWorker, ManagerToWorker, WorkerToLibrary, WorkerToManager};
+use vine_proto::{
+    CompiledBlob, LibraryToWorker, ManagerToWorker, WorkerToLibrary, WorkerToManager,
+};
 
 /// Handle to a spawned in-process worker engine.
 pub struct WorkerHandle {
@@ -56,6 +59,7 @@ pub fn worker_engine(
         crossbeam::channel::unbounded::<(WorkerId, LibraryInstanceId, LibraryToWorker)>();
     let mut libraries: BTreeMap<LibraryInstanceId, LibraryHost> = BTreeMap::new();
     let mut task_threads: Vec<JoinHandle<()>> = Vec::new();
+    let mut images = CompiledImageStore::new();
 
     loop {
         crossbeam::channel::select! {
@@ -66,10 +70,20 @@ pub fn worker_engine(
                         // handshake concern; the transport consumed it
                         // already, a stray copy is harmless
                     }
-                    ManagerToWorker::InstallLibrary { image, stage: _ } => {
+                    ManagerToWorker::InstallLibrary { mut image, stage: _ } => {
                         // the in-process substrate shares one filesystem,
                         // so staged context files are already local; the
                         // directive matters to remote data planes
+                        if let Some(CompiledBlob { source_digest, bytes }) = image.compiled.take() {
+                            // intern shipped bytecode by source digest so N
+                            // instances of one library hold one copy and a
+                            // re-install after eviction is a map hit
+                            let interned = images.intern_with(source_digest, || bytes);
+                            image.compiled = Some(CompiledBlob {
+                                source_digest,
+                                bytes: (*interned).clone(),
+                            });
+                        }
                         let host = spawn_library(id, image, registry.clone(), lib_tx.clone());
                         libraries.insert(host.instance, host);
                     }

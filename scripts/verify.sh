@@ -15,6 +15,12 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
+# VM differential suite: the bytecode VM must stay bit-identical to the
+# tree-walking reference (proptest + hazard corpus + golden disassembly)
+cargo test -q --release -p vine-lang --test vm_differential --test disasm_golden
+./target/release/repro perf --lang
+echo "vine-lang VM differential + benchmark: OK (BENCH_lang.json written)"
+
 ./target/release/repro lint
 ./target/release/repro analyze --check | tee ANALYZE_report.txt
 echo "repro lint + analyze: OK (report in ANALYZE_report.txt)"
