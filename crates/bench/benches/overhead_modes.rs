@@ -152,6 +152,19 @@ fn bench_live_invocation_tcp(c: &mut Criterion) {
     worker.join().unwrap();
 }
 
+fn bench_reactor_fleet_wave(c: &mut Criterion) {
+    // connection scaling: one synchronous ping wave (a small frame to
+    // every worker, then all echoes) across a 64-connection fleet served
+    // by one reactor thread — the per-message cost the scaling claim in
+    // BENCH_net.json rests on, sampled continuously here
+    let mut fleet = bench::net::FleetBench::start(64);
+    fleet.ping_wave(); // warm every connection's path
+    c.bench_function("reactor_wave_64_conns", |b| {
+        b.iter(|| black_box(fleet.ping_wave()))
+    });
+    fleet.finish();
+}
+
 criterion_group!(
     benches,
     bench_local_invocation,
@@ -159,6 +172,7 @@ criterion_group!(
     bench_invocation_reuses_context,
     bench_context_setup_itself,
     bench_live_invocation_inproc,
-    bench_live_invocation_tcp
+    bench_live_invocation_tcp,
+    bench_reactor_fleet_wave
 );
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! repro all [--scale 0.05] [--json] [--jobs N]
 //! repro fig6a table4 ...
 //! repro table2 --transport tcp       # + live loopback overhead rows
-//! repro perf [--sim]
+//! repro perf [--sim | --lang | --net [--conns N]]
 //! repro lint [file.vine ...]
 //! repro analyze [file.vine ...] [--check]   # context-discovery report
 //! repro serve --listen ADDR [--workers N] [--n N]   # live TCP manager
@@ -21,7 +21,7 @@
 //! slots, so output is byte-identical at any `--jobs` value — `--jobs 1`
 //! runs the exact sequential path (CI byte-compares the two).
 
-use bench::{experiments, live};
+use bench::{experiments, live, net};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
 
@@ -374,6 +374,8 @@ fn main() {
     let mut jobs = 0usize; // 0 = available parallelism
     let mut sim = false;
     let mut lang = false;
+    let mut net_flag = false;
+    let mut conns = 1000usize;
     let mut transport: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -402,6 +404,17 @@ fn main() {
             "--json" => json = true,
             "--sim" => sim = true,
             "--lang" => lang = true,
+            "--net" => net_flag = true,
+            "--conns" => {
+                conns = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|c| *c >= 2)
+                    .unwrap_or_else(|| {
+                        eprintln!("--conns expects an integer >= 2");
+                        std::process::exit(2);
+                    });
+            }
             "--transport" => {
                 transport = it
                     .next()
@@ -430,6 +443,8 @@ fn main() {
                      extra: perf (scheduler self-benchmark, writes BENCH_sched.json)\n\
                      \x20      perf --sim (simulator event-core self-benchmark, writes BENCH_sim.json)\n\
                      \x20      perf --lang (VM vs tree-walker invocation benchmark, writes BENCH_lang.json)\n\
+                     \x20      perf --net [--conns N] (reactor transport scaling, writes BENCH_net.json)\n\
+                     --conns N: cap the largest fleet size for perf --net (default 1000)\n\
                      --jobs N: worker threads for independent simulation cells\n\
                      \x20         (default: available parallelism; output is identical at any N)",
                     experiments::IDS.join(", ")
@@ -442,14 +457,21 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::IDS.iter().map(|s| s.to_string()).collect();
     }
-    if sim && lang {
-        eprintln!("--sim and --lang are mutually exclusive");
+    if (sim as u8) + (lang as u8) + (net_flag as u8) > 1 {
+        eprintln!("--sim, --lang, and --net are mutually exclusive");
         std::process::exit(2);
     }
-    if sim || lang {
+    if sim || lang || net_flag {
         for id in &mut ids {
             if id == "perf" {
-                *id = if sim { "perf_sim" } else { "perf_lang" }.to_string();
+                *id = if sim {
+                    "perf_sim"
+                } else if lang {
+                    "perf_lang"
+                } else {
+                    "perf_net"
+                }
+                .to_string();
             }
         }
     }
@@ -457,7 +479,8 @@ fn main() {
         let known = experiments::IDS.contains(&id.as_str())
             || id == "perf"
             || id == "perf_sim"
-            || id == "perf_lang";
+            || id == "perf_lang"
+            || id == "perf_net";
         if !known {
             eprintln!("unknown experiment '{id}' (try --list)");
             std::process::exit(2);
@@ -475,7 +498,13 @@ fn main() {
     let tables: Vec<_> = ids
         .clone()
         .into_par_iter()
-        .map(|id| experiments::by_id(&id, scale).expect("id validated above"))
+        .map(|id| {
+            if id == "perf_net" {
+                net::perf_net(scale, conns)
+            } else {
+                experiments::by_id(&id, scale).expect("id validated above")
+            }
+        })
         .collect();
     for table in &tables {
         if json {

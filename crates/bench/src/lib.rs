@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod live;
+pub mod net;
 pub mod table;
 
 pub use table::Table;

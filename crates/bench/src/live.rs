@@ -62,6 +62,12 @@ pub fn run_lnni_live(mut rt: Runtime, n: u64) -> Result<String, vine_core::VineE
         rt.submit(WorkUnit::Call(c));
     }
     let outcomes = rt.run_until_idle()?;
+    // per-worker wire counters on stderr (stdout is the byte-compared
+    // digest); the in-proc transport has no wire and reports nothing
+    let stats = rt.transport_stats();
+    if !stats.workers.is_empty() || stats.handshake_rejects > 0 {
+        eprint!("{}", stats.render());
+    }
     rt.shutdown();
     Ok(digest(&outcomes))
 }

@@ -22,8 +22,10 @@
 //! * a payload that is not valid UTF-8/JSON or does not decode to the
 //!   expected message type is [`FrameError::Malformed`].
 
+use crate::messages::ManagerToWorker;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Largest payload a frame may carry (64 MiB). Library images ship whole
 /// module sources and serialized functions, so frames are allowed to be
@@ -147,6 +149,169 @@ pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Vec<u8>, FrameError> {
 pub fn decode_frame<T: Deserialize>(frame: &[u8]) -> Result<T, FrameError> {
     let mut cursor = frame;
     read_frame(&mut cursor)
+}
+
+// -------------------------------------------------------- shared frames
+
+/// A manager→worker message encoded **once** into a shared, immutable
+/// frame (header + payload, byte-identical to what [`write_frame`] emits —
+/// a proptest pins this).
+///
+/// Broadcasting the same message to N workers through a `Frame` serializes
+/// it a single time; each recipient's outbound queue holds an `Arc` clone
+/// of the same bytes. A `LibraryImage` install fanned out to a fleet is
+/// the motivating case: the image (source + serialized functions +
+/// compiled bytecode) is the dominant payload in the system, and without
+/// this it would be re-encoded per worker.
+///
+/// The typed message rides along so substrates that never serialize (the
+/// in-process transport moves typed values over channels) can deliver the
+/// same `Frame` without a decode round-trip.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    bytes: Arc<[u8]>,
+    msg: Arc<ManagerToWorker>,
+}
+
+impl Frame {
+    /// Encode `msg` exactly as [`write_frame`] would, once.
+    pub fn encode_once(msg: ManagerToWorker) -> Result<Frame, FrameError> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg)?;
+        Ok(Frame {
+            bytes: Arc::from(buf.into_boxed_slice()),
+            msg: Arc::new(msg),
+        })
+    }
+
+    /// The full wire frame (length header + payload).
+    pub fn bytes(&self) -> &Arc<[u8]> {
+        &self.bytes
+    }
+
+    /// Total on-wire size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The typed message this frame encodes.
+    pub fn message(&self) -> &ManagerToWorker {
+        &self.msg
+    }
+
+    /// A typed copy for channel-based substrates (clones the message, not
+    /// the bytes).
+    pub fn to_message(&self) -> ManagerToWorker {
+        (*self.msg).clone()
+    }
+}
+
+// --------------------------------------------------- incremental decode
+
+/// How far a partially buffered stream can compact before memmoving the
+/// tail to the front (amortizes the copy across many small frames).
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Incremental frame decoder for readiness-driven readers.
+///
+/// A nonblocking socket hands the reactor arbitrary byte chunks: half a
+/// header, three frames back to back, a payload split anywhere. The
+/// decoder buffers whatever arrives ([`FrameDecoder::extend`]) and yields
+/// complete messages as they materialize ([`FrameDecoder::decode`] —
+/// `Ok(None)` means "need more bytes"). Error classification matches
+/// [`read_frame`] exactly (a proptest pins the equivalence): oversized
+/// headers are rejected before any payload is buffered past them, empty
+/// and malformed payloads report the same [`FrameError`]s, and
+/// [`FrameDecoder::finish`] distinguishes a clean close on a frame
+/// boundary from a stream that died mid-frame.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily.
+    start: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffer freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decode the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` asks for more bytes. Any `Err` is fatal to the stream:
+    /// the caller cannot resynchronize after a bad header or payload and
+    /// should drop the connection.
+    pub fn decode<T: Deserialize>(&mut self) -> Result<Option<T>, FrameError> {
+        let avail = self.buffered();
+        if avail < 4 {
+            return Ok(None);
+        }
+        let header: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4-byte slice");
+        let len = u32::from_le_bytes(header) as usize;
+        if len == 0 {
+            return Err(FrameError::Malformed("empty frame".into()));
+        }
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversized {
+                len,
+                max: MAX_FRAME,
+            });
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let payload = &self.buf[self.start + 4..self.start + 4 + len];
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| FrameError::Malformed(format!("utf-8: {e}")))?;
+        let msg = serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))?;
+        self.start += 4 + len;
+        if self.start == self.buf.len() || self.start > COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(msg))
+    }
+
+    /// Classify end-of-stream: `Ok` when the peer closed on a frame
+    /// boundary, [`FrameError::Truncated`] when it died mid-frame.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        let avail = self.buffered();
+        if avail == 0 {
+            return Ok(());
+        }
+        let expected = if avail < 4 {
+            4
+        } else {
+            let header: [u8; 4] = self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("4-byte slice");
+            u32::from_le_bytes(header) as usize
+        };
+        Err(FrameError::Truncated {
+            expected,
+            got: avail.min(expected),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,8 @@ pub mod framing;
 pub mod library;
 pub mod messages;
 
-pub use framing::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use framing::{
+    decode_frame, encode_frame, read_frame, write_frame, Frame, FrameDecoder, FrameError, MAX_FRAME,
+};
 pub use library::{LibraryToWorker, WorkerToLibrary};
 pub use messages::{CompiledBlob, LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};

@@ -15,8 +15,8 @@ use vine_core::ids::{ContentHash, FileId, InvocationId, LibraryInstanceId, TaskI
 use vine_core::resources::Resources;
 use vine_core::task::{ExecMode, FunctionCall, Outcome, TaskSpec, UnitId, WorkProfile, WorkUnit};
 use vine_proto::{
-    read_frame, write_frame, CompiledBlob, FrameError, LibraryImage, LibrarySetup, LibraryToWorker,
-    ManagerToWorker, WorkerToLibrary, WorkerToManager, MAX_FRAME,
+    read_frame, write_frame, CompiledBlob, Frame, FrameDecoder, FrameError, LibraryImage,
+    LibrarySetup, LibraryToWorker, ManagerToWorker, WorkerToLibrary, WorkerToManager, MAX_FRAME,
 };
 
 // ---- strategies over the core vocabulary ----
@@ -367,5 +367,144 @@ proptest! {
     fn garbage_bytes_never_panic(junk in prop::collection::vec(any::<u8>(), 0..64)) {
         let mut cursor = Cursor::new(junk);
         let _ = read_frame::<WorkerToManager>(&mut cursor);
+    }
+
+    // ---- pre-encoded shared frames (`Frame::encode_once`) ----
+
+    #[test]
+    fn encode_once_is_byte_identical_to_write_frame(msg in arb_manager_to_worker()) {
+        let mut reference = Vec::new();
+        write_frame(&mut reference, &msg).unwrap();
+        let frame = Frame::encode_once(msg.clone()).unwrap();
+        prop_assert_eq!(&frame.bytes()[..], &reference[..]);
+        prop_assert_eq!(frame.len(), reference.len());
+        // the typed copy riding along is the message itself
+        prop_assert_eq!(frame.to_message(), msg);
+    }
+
+    // ---- incremental decode (the reactor's `FrameDecoder`) ----
+
+    #[test]
+    fn decoder_split_at_every_byte_boundary_matches_read_frame(
+        msgs in prop::collection::vec(arb_manager_to_worker(), 1..4),
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m).unwrap();
+        }
+        // feeding one byte at a time exercises every split point in one
+        // pass: every header and payload boundary sees a short read
+        let mut dec = FrameDecoder::new();
+        let mut out: Vec<ManagerToWorker> = Vec::new();
+        for (i, b) in wire.iter().enumerate() {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(m) = dec.decode::<ManagerToWorker>().unwrap() {
+                out.push(m);
+            }
+            // mid-stream the decoder never errors on a short prefix
+            if i + 1 < wire.len() && out.len() < msgs.len() {
+                prop_assert!(dec.decode::<ManagerToWorker>().unwrap().is_none());
+            }
+        }
+        prop_assert_eq!(&out, &msgs);
+        dec.finish().expect("clean close on a frame boundary");
+
+        // the same bytes through the blocking reader give the same stream
+        let mut cursor = Cursor::new(wire);
+        for m in &msgs {
+            prop_assert_eq!(&read_frame::<ManagerToWorker>(&mut cursor).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn decoder_handles_arbitrary_chunkings_and_coalesced_frames(
+        msgs in prop::collection::vec(arb_manager_to_worker(), 1..5),
+        chunks in prop::collection::vec(1usize..512, 1..32),
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m).unwrap();
+        }
+        // partial writes of arbitrary sizes, including chunks spanning
+        // several back-to-back frames at once
+        let mut dec = FrameDecoder::new();
+        let mut out: Vec<ManagerToWorker> = Vec::new();
+        let mut off = 0;
+        let mut ci = 0;
+        while off < wire.len() {
+            let take = chunks[ci % chunks.len()].min(wire.len() - off);
+            ci += 1;
+            dec.extend(&wire[off..off + take]);
+            off += take;
+            while let Some(m) = dec.decode::<ManagerToWorker>().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(&out, &msgs);
+        prop_assert_eq!(dec.buffered(), 0);
+        dec.finish().expect("clean close");
+    }
+
+    #[test]
+    fn decoder_truncation_matches_read_frame(msg in arb_manager_to_worker(), keep in any::<u16>()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+        let cut = 1 + (keep as usize) % (wire.len() - 1);
+        wire.truncate(cut);
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        // a truncated frame is "need more bytes" until EOF classifies it
+        prop_assert!(dec.decode::<ManagerToWorker>().unwrap().is_none());
+        match dec.finish() {
+            Err(FrameError::Truncated { .. }) => {}
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+
+        let mut cursor = Cursor::new(wire);
+        match read_frame::<ManagerToWorker>(&mut cursor) {
+            Err(FrameError::Truncated { .. }) => {}
+            other => prop_assert!(false, "read_frame disagrees: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_headers_before_buffering_payload(extra in 1u32..1024) {
+        let len = MAX_FRAME as u32 + extra;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&len.to_le_bytes());
+        dec.extend(b"xx");
+        match dec.decode::<ManagerToWorker>() {
+            Err(FrameError::Oversized { .. }) => {}
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn decoder_corruption_verdict_matches_read_frame(
+        msg in arb_manager_to_worker(),
+        flip in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+        if wire.len() > 4 {
+            // flip one payload bit (never the length header) and require
+            // the incremental and blocking decoders to agree on the verdict
+            let idx = 4 + (flip as usize) % (wire.len() - 4);
+            wire[idx] ^= 1 << bit;
+            let mut dec = FrameDecoder::new();
+            dec.extend(&wire);
+            let incremental = dec.decode::<ManagerToWorker>();
+            let mut cursor = Cursor::new(wire);
+            let blocking = read_frame::<ManagerToWorker>(&mut cursor);
+            match (incremental, blocking) {
+                (Ok(Some(a)), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(FrameError::Malformed(a)), Err(FrameError::Malformed(b))) => {
+                    prop_assert_eq!(a, b)
+                }
+                (a, b) => prop_assert!(false, "decoders disagree: {:?} vs {:?}", a, b),
+            }
+        }
     }
 }

@@ -24,16 +24,20 @@
 //!
 //! All manager ↔ worker traffic flows through the [`transport::Transport`]
 //! trait: the in-process backend keeps the historical threads-and-channels
-//! substrate, the TCP backend frames the same [`vine_proto`] messages over
-//! sockets to workers in other OS processes.
+//! substrate, the TCP backend ([`reactor`]) frames the same [`vine_proto`]
+//! messages over sockets to workers in other OS processes — one epoll
+//! reactor thread serving the whole fleet.
 
 pub mod library_host;
+pub mod reactor;
 pub mod runtime;
 pub mod transport;
 pub mod worker_host;
 
 pub use library_host::LibraryImage;
+pub use reactor::{TcpConfig, TcpTransport};
 pub use runtime::{decode_result, Runtime, RuntimeConfig};
 pub use transport::{
-    run_tcp_worker, InProcTransport, RecvError, TcpTransport, Transport, TransportEvent,
+    run_tcp_worker, InProcTransport, RecvError, Transport, TransportEvent, TransportStats,
+    WorkerTransportStats,
 };

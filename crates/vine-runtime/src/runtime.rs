@@ -2,7 +2,7 @@
 //! workers through a pluggable [`Transport`] — threads-and-channels in
 //! process, or framed TCP to workers in other OS processes.
 
-use crate::transport::{InProcTransport, RecvError, Transport, TransportEvent};
+use crate::transport::{InProcTransport, RecvError, Transport, TransportEvent, TransportStats};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 use vine_core::context::LibrarySpec;
@@ -14,7 +14,9 @@ use vine_data::CompiledImageStore;
 use vine_lang::pickle;
 use vine_lang::{ModuleRegistry, Value};
 use vine_manager::{Decision, Manager};
-use vine_proto::{CompiledBlob, LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};
+use vine_proto::{
+    CompiledBlob, Frame, LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager,
+};
 
 /// Live cluster configuration.
 #[derive(Clone)]
@@ -391,13 +393,15 @@ impl Runtime {
                         default_mode: template.mode,
                         compiled: template.compiled.clone(),
                     };
-                    self.send(
-                        worker,
-                        ManagerToWorker::InstallLibrary {
-                            image,
-                            stage: missing,
-                        },
-                    )?;
+                    // the image (source + serialized functions + compiled
+                    // bytecode) is the heaviest payload in the system:
+                    // encode it once, hand the transport shared bytes
+                    let frame = Frame::encode_once(ManagerToWorker::InstallLibrary {
+                        image,
+                        stage: missing,
+                    })
+                    .map_err(|e| VineError::Protocol(format!("encoding install: {e}")))?;
+                    self.send_frame(worker, &frame)?;
                 }
                 Decision::EvictLibrary {
                     worker, instance, ..
@@ -448,7 +452,22 @@ impl Runtime {
     /// same leave-and-requeue path as an observed disconnect, and the
     /// decision that targeted it is re-made on the survivors.
     fn send(&mut self, worker: WorkerId, msg: ManagerToWorker) -> Result<()> {
-        match self.transport.send(worker, msg) {
+        let sent = self.transport.send(worker, msg);
+        self.sent(sent)
+    }
+
+    /// [`Runtime::send`] for a pre-encoded frame: same lost-worker
+    /// handling, but the transport ships shared bytes instead of
+    /// re-serializing the message.
+    fn send_frame(&mut self, worker: WorkerId, frame: &Frame) -> Result<()> {
+        let sent = self.transport.send_frame(worker, frame);
+        self.sent(sent)
+    }
+
+    /// Route a send result: a lost worker flows into the leave-and-requeue
+    /// path rather than failing the run.
+    fn sent(&mut self, result: Result<()>) -> Result<()> {
+        match result {
             Ok(()) => Ok(()),
             Err(VineError::WorkerLost(w)) => {
                 if self.connected.remove(&w) {
@@ -537,6 +556,12 @@ impl Runtime {
     /// Deployed library instances and their share values (live Fig 11).
     pub fn library_share_values(&self) -> Vec<(WorkerId, u64)> {
         self.mgr.instances().map(|(w, l)| (w, l.served)).collect()
+    }
+
+    /// A snapshot of the transport's per-worker traffic counters (empty
+    /// for backends without a wire).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
     }
 
     /// Shut the cluster down, stopping every worker.

@@ -6,9 +6,11 @@
 //!
 //! * [`InProcTransport`] — workers are threads, messages move over
 //!   crossbeam channels untouched (today's semantics, zero serialization);
-//! * [`TcpTransport`] — the manager listens, workers dial in and speak
-//!   [`vine_proto::framing`] frames over `std::net` sockets. A connection
-//!   dropping (worker crash, `kill -9`, network partition) surfaces as
+//! * [`TcpTransport`](crate::reactor::TcpTransport) — the manager binds a
+//!   listener, workers dial in and speak [`vine_proto::framing`] frames
+//!   over `std::net` sockets, and a single epoll reactor thread serves
+//!   the whole fleet (see [`crate::reactor`]). A connection dropping
+//!   (worker crash, `kill -9`, network partition) surfaces as
 //!   [`TransportEvent::Left`], which the runtime feeds into the same
 //!   requeue path as an explicit worker kill.
 //!
@@ -21,16 +23,13 @@ use crate::worker_host::{spawn_worker, worker_engine, WorkerHandle};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use vine_core::ids::WorkerId;
 use vine_core::resources::Resources;
 use vine_core::{Result, VineError};
 use vine_lang::ModuleRegistry;
-use vine_proto::{read_frame, write_frame, ManagerToWorker, WorkerToManager};
+use vine_proto::{read_frame, write_frame, Frame, ManagerToWorker, WorkerToManager};
 
 /// What a transport can tell the runtime.
 #[derive(Debug)]
@@ -66,6 +65,15 @@ pub trait Transport: Send {
     /// is unreachable — the caller decides whether that is fatal.
     fn send(&mut self, worker: WorkerId, msg: ManagerToWorker) -> Result<()>;
 
+    /// Deliver a pre-encoded [`Frame`] to one worker. Broadcast paths
+    /// (library installs, shutdown) encode once and call this per
+    /// recipient; byte-moving backends ship the shared bytes without
+    /// re-serializing, channel backends deliver the typed message without
+    /// a decode. The default just unwraps the typed message.
+    fn send_frame(&mut self, worker: WorkerId, frame: &Frame) -> Result<()> {
+        self.send(worker, frame.to_message())
+    }
+
     /// Block for the next event, up to `timeout`.
     fn recv_timeout(&mut self, timeout: Duration)
         -> std::result::Result<TransportEvent, RecvError>;
@@ -82,6 +90,78 @@ pub trait Transport: Send {
     /// Gracefully stop every worker and release transport resources.
     /// Idempotent.
     fn shutdown(&mut self);
+
+    /// A snapshot of per-worker traffic counters. Backends that do not
+    /// meter anything (in-process channels have no wire) return the empty
+    /// default.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+}
+
+// ------------------------------------------------------------------ stats
+
+/// Lifetime traffic counters for one worker connection, as metered by the
+/// transport. Counters survive the worker's death so a post-run snapshot
+/// covers the whole fleet.
+#[derive(Debug, Clone)]
+pub struct WorkerTransportStats {
+    pub worker: WorkerId,
+    /// Complete frames decoded from this worker.
+    pub frames_in: u64,
+    /// Complete frames flushed to this worker.
+    pub frames_out: u64,
+    /// Raw bytes read off the socket (including partial frames).
+    pub bytes_in: u64,
+    /// Raw bytes written to the socket.
+    pub bytes_out: u64,
+    /// High-water mark of the outbound queue, in bytes — how far this
+    /// worker fell behind at its worst.
+    pub queue_hwm_bytes: u64,
+    /// Whether the connection was still up when the snapshot was taken.
+    pub alive: bool,
+}
+
+/// A fleet-wide snapshot from [`Transport::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct TransportStats {
+    pub workers: Vec<WorkerTransportStats>,
+    /// Connections closed without completing the `Join` handshake
+    /// (deadline expired or the first message was not `Join`).
+    pub handshake_rejects: u64,
+}
+
+impl TransportStats {
+    /// Render a compact human-readable table (one line per worker plus a
+    /// totals line), for end-of-run diagnostics.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("transport stats:\n");
+        out.push_str("  worker  frames_in  frames_out    bytes_in   bytes_out  queue_hwm  alive\n");
+        let (mut fi, mut fo, mut bi, mut bo) = (0u64, 0u64, 0u64, 0u64);
+        for w in &self.workers {
+            fi += w.frames_in;
+            fo += w.frames_out;
+            bi += w.bytes_in;
+            bo += w.bytes_out;
+            out.push_str(&format!(
+                "  {:>6} {:>10} {:>11} {:>11} {:>11} {:>10} {:>6}\n",
+                w.worker.0,
+                w.frames_in,
+                w.frames_out,
+                w.bytes_in,
+                w.bytes_out,
+                w.queue_hwm_bytes,
+                if w.alive { "yes" } else { "no" },
+            ));
+        }
+        out.push_str(&format!(
+            "  totals: {} workers, {fi} frames in / {fo} out, {bi} bytes in / {bo} out, {} handshake rejects\n",
+            self.workers.len(),
+            self.handshake_rejects,
+        ));
+        out
+    }
 }
 
 // ---------------------------------------------------------------- in-proc
@@ -179,8 +259,12 @@ impl Transport for InProcTransport {
     }
 
     fn shutdown(&mut self) {
-        for (_, h) in self.workers.iter_mut() {
-            let _ = h.tx.send(ManagerToWorker::Shutdown);
+        // the broadcast pattern in miniature: one Frame, N typed clones —
+        // channel substrates never touch the bytes
+        if let Ok(frame) = Frame::encode_once(ManagerToWorker::Shutdown) {
+            for (_, h) in self.workers.iter_mut() {
+                let _ = h.tx.send(frame.to_message());
+            }
         }
         for (_, mut h) in std::mem::take(&mut self.workers) {
             if let Some(t) = h.thread.take() {
@@ -191,172 +275,6 @@ impl Transport for InProcTransport {
 }
 
 impl Drop for InProcTransport {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-// ------------------------------------------------------------------- tcp
-
-/// Shared writer halves of every live worker connection. Reader threads
-/// remove their entry on disconnect so sends fail fast afterwards.
-type StreamMap = Arc<Mutex<BTreeMap<WorkerId, TcpStream>>>;
-
-/// The manager side of the TCP backend: listen, admit dialing workers,
-/// tag each connection with a fresh [`WorkerId`].
-pub struct TcpTransport {
-    streams: StreamMap,
-    events: Receiver<TransportEvent>,
-    /// Held only to keep the channel open while no worker is connected.
-    _events_tx: Sender<TransportEvent>,
-    local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-}
-
-impl TcpTransport {
-    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// admitting workers.
-    pub fn listen(addr: impl ToSocketAddrs) -> std::io::Result<TcpTransport> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let streams: StreamMap = Arc::new(Mutex::new(BTreeMap::new()));
-        let (etx, erx) = crossbeam::channel::unbounded();
-        let stop = Arc::new(AtomicBool::new(false));
-
-        let accept_thread = {
-            let streams = Arc::clone(&streams);
-            let etx = etx.clone();
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("vine-accept".into())
-                .spawn(move || {
-                    let ids = AtomicU32::new(0);
-                    while !stop.load(Ordering::Relaxed) {
-                        match listener.accept() {
-                            Ok((stream, _peer)) => {
-                                let worker = WorkerId(ids.fetch_add(1, Ordering::Relaxed));
-                                let streams = Arc::clone(&streams);
-                                let etx = etx.clone();
-                                let _ = std::thread::Builder::new()
-                                    .name(format!("vine-conn-{worker}"))
-                                    .spawn(move || serve_connection(worker, stream, streams, etx));
-                            }
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(10));
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                })
-                .expect("spawn accept thread")
-        };
-
-        Ok(TcpTransport {
-            streams,
-            events: erx,
-            _events_tx: etx,
-            local_addr,
-            stop,
-            accept_thread: Some(accept_thread),
-        })
-    }
-
-    /// The address workers should dial (resolves `:0` bindings).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
-    }
-}
-
-/// One admitted connection: handshake, then pump frames into the event
-/// stream until the socket dies.
-fn serve_connection(
-    worker: WorkerId,
-    stream: TcpStream,
-    streams: StreamMap,
-    events: Sender<TransportEvent>,
-) {
-    // the handshake and reader run on this thread; writers clone the stream
-    stream.set_nonblocking(false).ok();
-    // frames are small and latency-bound: never sit on one waiting to
-    // coalesce (Nagle + delayed ACK costs ~40 ms per dispatch otherwise)
-    stream.set_nodelay(true).ok();
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-
-    // §3.5 step 1: the worker announces itself before anything else
-    let resources = match read_frame::<WorkerToManager>(&mut reader) {
-        Ok(WorkerToManager::Join { resources }) => resources,
-        _ => return, // not a worker — drop the connection unannounced
-    };
-    if write_frame(&mut writer, &ManagerToWorker::Welcome { worker }).is_err() {
-        return;
-    }
-    streams.lock().unwrap().insert(worker, writer);
-    let _ = events.send(TransportEvent::Joined { worker, resources });
-
-    // pump until clean close, crash, or garbage: the worker is gone
-    while let Ok(msg) = read_frame::<WorkerToManager>(&mut reader) {
-        let _ = events.send(TransportEvent::Message { worker, msg });
-    }
-    streams.lock().unwrap().remove(&worker);
-    let _ = events.send(TransportEvent::Left { worker });
-}
-
-impl Transport for TcpTransport {
-    fn send(&mut self, worker: WorkerId, msg: ManagerToWorker) -> Result<()> {
-        let mut streams = self.streams.lock().unwrap();
-        let stream = streams
-            .get_mut(&worker)
-            .ok_or(VineError::WorkerLost(worker))?;
-        if write_frame(stream, &msg).is_err() {
-            // half-dead socket: drop the writer; the reader thread will
-            // observe the close and emit Left
-            streams.remove(&worker);
-            return Err(VineError::WorkerLost(worker));
-        }
-        Ok(())
-    }
-
-    fn recv_timeout(
-        &mut self,
-        timeout: Duration,
-    ) -> std::result::Result<TransportEvent, RecvError> {
-        match self.events.recv_timeout(timeout) {
-            Ok(ev) => Ok(ev),
-            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
-        }
-    }
-
-    fn try_recv(&mut self) -> Option<TransportEvent> {
-        self.events.try_recv().ok()
-    }
-
-    fn disconnect(&mut self, worker: WorkerId) {
-        if let Some(stream) = self.streams.lock().unwrap().remove(&worker) {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
-    }
-
-    fn shutdown(&mut self) {
-        let streams = std::mem::take(&mut *self.streams.lock().unwrap());
-        for (_, mut stream) in streams {
-            let _ = write_frame(&mut stream, &ManagerToWorker::Shutdown);
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shutdown();
     }

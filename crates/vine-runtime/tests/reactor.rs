@@ -1,0 +1,269 @@
+//! Reactor-transport behavior the threaded backend never had: handshake
+//! deadlines that reap half-open connections, per-worker backpressure that
+//! isolates a slow worker from the fleet, serialize-once broadcasts, and
+//! per-connection traffic metering — all through one epoll thread.
+
+use std::io::{BufReader, Read};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use vine_core::ids::{LibraryInstanceId, WorkerId};
+use vine_core::resources::Resources;
+use vine_proto::{read_frame, write_frame, Frame, ManagerToWorker, WorkerToManager};
+use vine_runtime::{TcpConfig, TcpTransport, Transport, TransportEvent};
+
+/// Dial the manager and complete the Join handshake; returns the write
+/// half, a buffered read half, and the assigned worker id.
+fn join(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>, WorkerId) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_frame(
+        &mut writer,
+        &WorkerToManager::Join {
+            resources: Resources::new(4, 1024, 1024),
+        },
+    )
+    .unwrap();
+    let ManagerToWorker::Welcome { worker } = read_frame::<ManagerToWorker>(&mut reader).unwrap()
+    else {
+        panic!("expected Welcome");
+    };
+    (writer, reader, worker)
+}
+
+/// Drain transport events until one matches, failing after `timeout`.
+fn wait_for(
+    t: &mut TcpTransport,
+    timeout: Duration,
+    mut pred: impl FnMut(&TransportEvent) -> bool,
+) -> TransportEvent {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let left = deadline
+            .checked_duration_since(Instant::now())
+            .expect("event within deadline");
+        let ev = t.recv_timeout(left).expect("event within deadline");
+        if pred(&ev) {
+            return ev;
+        }
+    }
+}
+
+#[test]
+fn unjoined_connections_are_reaped_and_counted() {
+    let mut t = TcpTransport::listen_with(
+        "127.0.0.1:0",
+        TcpConfig {
+            handshake_timeout: Duration::from_millis(100),
+            ..TcpConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = t.local_addr();
+
+    // a connection that never says anything: reaped at the deadline
+    let mut mute = TcpStream::connect(addr).unwrap();
+    // a connection whose first message is not Join: rejected on arrival
+    let mut rude = TcpStream::connect(addr).unwrap();
+    write_frame(&mut rude, &WorkerToManager::Leave).unwrap();
+
+    // both sockets must observe a close (read returns 0), well before a
+    // reader thread would have blocked forever in the old backend
+    for (name, sock) in [("mute", &mut mute), ("rude", &mut rude)] {
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(sock.read(&mut buf).unwrap(), 0, "{name} socket closed");
+    }
+
+    // neither ever became a worker, and both closures were counted
+    assert!(t.try_recv().is_none(), "no Joined/Left events for rejects");
+    assert_eq!(t.stats().handshake_rejects, 2);
+
+    // the deadline machinery must not break real admissions
+    let (_w, _r, worker) = join(addr);
+    let ev = wait_for(&mut t, Duration::from_secs(10), |e| {
+        matches!(e, TransportEvent::Joined { .. })
+    });
+    let TransportEvent::Joined { worker: joined, .. } = ev else {
+        unreachable!()
+    };
+    assert_eq!(joined, worker);
+    t.shutdown();
+}
+
+#[test]
+fn slow_worker_backpressure_does_not_stall_the_fleet() {
+    let mut t = TcpTransport::listen_with(
+        "127.0.0.1:0",
+        TcpConfig {
+            max_queued_bytes: 64 * 1024,
+            send_timeout: Duration::from_millis(300),
+            ..TcpConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = t.local_addr();
+
+    // the slow worker joins and then never reads again
+    let (_slow_w, slow_r, slow) = join(addr);
+    // the healthy worker echoes everything it is sent
+    let (mut fast_w, mut fast_r, fast) = join(addr);
+    for _ in 0..2 {
+        wait_for(&mut t, Duration::from_secs(10), |e| {
+            matches!(e, TransportEvent::Joined { .. })
+        });
+    }
+
+    // a frame big enough that a handful exhausts socket buffer + queue
+    let big = ManagerToWorker::InstallLibrary {
+        image: vine_proto::LibraryImage {
+            instance: LibraryInstanceId(1),
+            source: "x".repeat(256 * 1024),
+            serialized_functions: vec![],
+            setup: None,
+            default_mode: vine_core::task::ExecMode::Direct,
+            compiled: None,
+        },
+        stage: vec![],
+    };
+
+    // hammer the slow worker until its bounded queue declares it lost;
+    // the kernel socket buffer absorbs the first few frames, the reactor
+    // queue the next one, and then the sender must hit the send deadline
+    let mut lost = false;
+    for _ in 0..64 {
+        if t.send(slow, big.clone()).is_err() {
+            lost = true;
+            break;
+        }
+    }
+    assert!(lost, "a worker that never drains must be declared lost");
+
+    // the slow worker's demise surfaces like any other crash
+    wait_for(
+        &mut t,
+        Duration::from_secs(10),
+        |e| matches!(e, TransportEvent::Left { worker } if *worker == slow),
+    );
+
+    // and the fleet never stalled: the sender paid at most one send
+    // deadline for the loss, and the healthy worker is still fully usable
+    let ping = ManagerToWorker::RemoveLibrary {
+        instance: LibraryInstanceId(7),
+    };
+    t.send(fast, ping.clone()).unwrap();
+    assert_eq!(read_frame::<ManagerToWorker>(&mut fast_r).unwrap(), ping);
+    write_frame(
+        &mut fast_w,
+        &WorkerToManager::LibraryReady {
+            instance: LibraryInstanceId(7),
+        },
+    )
+    .unwrap();
+    wait_for(&mut t, Duration::from_secs(10), |e| {
+        matches!(
+            e,
+            TransportEvent::Message {
+                msg: WorkerToManager::LibraryReady { .. },
+                ..
+            }
+        )
+    });
+
+    let stats = t.stats();
+    let s = stats.workers.iter().find(|w| w.worker == slow).unwrap();
+    assert!(!s.alive, "slow worker marked dead in stats");
+    assert!(
+        s.queue_hwm_bytes as usize >= 256 * 1024,
+        "its queue visibly backed up (hwm {})",
+        s.queue_hwm_bytes
+    );
+    drop(slow_r);
+    t.shutdown();
+}
+
+#[test]
+fn a_64_connection_fleet_roundtrips_through_one_reactor() {
+    const FLEET: usize = 64;
+    let mut t = TcpTransport::listen("127.0.0.1:0").unwrap();
+    let addr = t.local_addr();
+
+    // every client: join, echo each RemoveLibrary as LibraryReady, exit
+    // on Shutdown
+    let clients: Vec<_> = (0..FLEET)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (mut w, mut r, _) = join(addr);
+                loop {
+                    match read_frame::<ManagerToWorker>(&mut r) {
+                        Ok(ManagerToWorker::RemoveLibrary { instance }) => {
+                            write_frame(&mut w, &WorkerToManager::LibraryReady { instance })
+                                .unwrap();
+                        }
+                        Ok(ManagerToWorker::Shutdown) | Err(_) => return,
+                        Ok(other) => panic!("unexpected {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut workers = Vec::new();
+    while workers.len() < FLEET {
+        if let TransportEvent::Joined { worker, .. } =
+            wait_for(&mut t, Duration::from_secs(30), |e| {
+                matches!(e, TransportEvent::Joined { .. })
+            })
+        {
+            workers.push(worker);
+        }
+    }
+
+    // per-worker sends, then a broadcast encoded exactly once
+    for &w in &workers {
+        t.send(
+            w,
+            ManagerToWorker::RemoveLibrary {
+                instance: LibraryInstanceId(w.0 as u64),
+            },
+        )
+        .unwrap();
+    }
+    let broadcast = Frame::encode_once(ManagerToWorker::RemoveLibrary {
+        instance: LibraryInstanceId(9999),
+    })
+    .unwrap();
+    for &w in &workers {
+        t.send_frame(w, &broadcast).unwrap();
+    }
+
+    // every client answers both frames
+    let mut echoes = 0;
+    while echoes < FLEET * 2 {
+        if let TransportEvent::Message {
+            msg: WorkerToManager::LibraryReady { .. },
+            ..
+        } = wait_for(&mut t, Duration::from_secs(30), |e| {
+            matches!(e, TransportEvent::Message { .. })
+        }) {
+            echoes += 1;
+        }
+    }
+
+    t.shutdown();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // metering: Welcome + per-worker send + broadcast + Shutdown out,
+    // the two echoes in (Join is handshake, not a metered message)
+    let stats = t.stats();
+    assert_eq!(stats.workers.len(), FLEET);
+    assert_eq!(stats.handshake_rejects, 0);
+    for w in &stats.workers {
+        assert_eq!(w.frames_in, 2, "worker {} echoes", w.worker);
+        assert_eq!(w.frames_out, 4, "worker {} deliveries", w.worker);
+        assert!(w.bytes_in > 0 && w.bytes_out > 0);
+    }
+}

@@ -37,3 +37,9 @@ cmp "$seq_out" "$par_out" || {
 echo "repro --jobs determinism: OK (byte-identical at --jobs 1 and 4)"
 
 ./scripts/tcp_smoke.sh ./target/release/repro
+
+# reactor connection-scaling smoke: one manager thread must sustain a
+# 256-connection loopback fleet (the full 1000-connection run is the
+# local `repro perf --net`; CI keeps the bounded variant)
+./target/release/repro perf --net --conns 256 --scale 0.1
+echo "reactor connection-scaling smoke: OK (BENCH_net.json written)"
