@@ -10,6 +10,8 @@
 //! repro analyze [file.vine ...] [--check]   # context-discovery report
 //! repro serve --listen ADDR [--workers N] [--n N]   # live TCP manager
 //! repro serve --local [--workers N] [--n N]         # same run, in-proc
+//! repro serve --shard ID --router ADDR              # one federation shard
+//! repro route --listen ADDR [--shards N] [--n N]    # federation front-end
 //! repro join ADDR                                   # live TCP worker
 //! repro --list
 //! ```
@@ -30,11 +32,18 @@ use std::collections::BTreeSet;
 /// digest on stdout. With `--listen`, worker processes must dial in via
 /// `repro join ADDR`; with `--local`, workers are in-process threads and
 /// the digest is the reference a TCP run must byte-match.
+///
+/// `repro serve --shard ID --router ADDR [--libs L] [--listen ADDR]` runs
+/// one scheduling shard of a federation instead: no digest (the router
+/// prints it); the shard serves routed submissions until told to stop.
 fn run_serve(args: &[String]) -> ! {
     let mut listen: Option<String> = None;
     let mut local = false;
     let mut workers = 2usize;
     let mut n = 200u64;
+    let mut shard: Option<u32> = None;
+    let mut router: Option<String> = None;
+    let mut libs = 1u32;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,9 +61,46 @@ fn run_serve(args: &[String]) -> ! {
                     std::process::exit(2);
                 })
             }
+            "--shard" => {
+                shard = it.next().and_then(|s| s.parse().ok());
+                if shard.is_none() {
+                    eprintln!("--shard expects an integer shard id");
+                    std::process::exit(2);
+                }
+            }
+            "--router" => router = it.next().cloned(),
+            "--libs" => {
+                libs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|l| *l >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--libs expects an integer >= 1");
+                        std::process::exit(2);
+                    })
+            }
             other => {
                 eprintln!("serve: unknown argument '{other}'");
                 std::process::exit(2);
+            }
+        }
+    }
+    if let Some(id) = shard {
+        let Some(router_addr) = router else {
+            eprintln!("serve: --shard requires --router ADDR");
+            std::process::exit(2);
+        };
+        match bench::shard::serve_shard(
+            &router_addr,
+            vine_core::ids::ShardId(id),
+            workers,
+            libs,
+            listen.as_deref(),
+        ) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("serve --shard: {e}");
+                std::process::exit(1);
             }
         }
     }
@@ -74,6 +120,68 @@ fn run_serve(args: &[String]) -> ! {
         }
         Err(e) => {
             eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro route --listen ADDR [--shards N] [--n N] [--libs L]` — the
+/// routing front-end of a federated deployment: waits for N shard
+/// processes, routes the LNNI workload by function-context digest, prints
+/// the per-shard stats table on stderr and the digest on stdout. The
+/// digest byte-matches `repro serve --local --n N`.
+fn run_route(args: &[String]) -> ! {
+    let mut listen: Option<String> = None;
+    let mut shards = 2usize;
+    let mut n = 200u64;
+    let mut libs = 1u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = it.next().cloned(),
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s| *s >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards expects an integer >= 1");
+                        std::process::exit(2);
+                    })
+            }
+            "--n" => {
+                n = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--n expects an integer >= 1");
+                    std::process::exit(2);
+                })
+            }
+            "--libs" => {
+                libs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|l| *l >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--libs expects an integer >= 1");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("route: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(addr) = listen else {
+        eprintln!("route: pass --listen ADDR for shards to dial");
+        std::process::exit(2);
+    };
+    match bench::shard::route(&addr, shards, n, libs) {
+        Ok(d) => {
+            println!("{d}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("route: {e}");
             std::process::exit(1);
         }
     }
@@ -369,6 +477,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("join") {
         run_join(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("route") {
+        run_route(&args[1..]);
+    }
     let mut scale = 1.0f64;
     let mut json = false;
     let mut jobs = 0usize; // 0 = available parallelism
@@ -437,6 +548,8 @@ fn main() {
                      \x20      repro lint [file.vine ...]\n\
                      \x20      repro analyze [file.vine ...] [--check]\n\
                      \x20      repro serve [--listen ADDR | --local] [--workers N] [--n N]\n\
+                     \x20      repro serve --shard ID --router ADDR [--workers N] [--libs L] [--listen ADDR]\n\
+                     \x20      repro route --listen ADDR [--shards N] [--n N] [--libs L]\n\
                      \x20      repro join ADDR\n\
                      \x20      repro disasm file.vine ...\n\
                      experiments: {}\n\
@@ -444,6 +557,7 @@ fn main() {
                      \x20      perf --sim (simulator event-core self-benchmark, writes BENCH_sim.json)\n\
                      \x20      perf --lang (VM vs tree-walker invocation benchmark, writes BENCH_lang.json)\n\
                      \x20      perf --net [--conns N] (reactor transport scaling, writes BENCH_net.json)\n\
+                     \x20      shard (federated sharding 1\u{2192}8 shards, writes BENCH_shard.json)\n\
                      --conns N: cap the largest fleet size for perf --net (default 1000)\n\
                      --jobs N: worker threads for independent simulation cells\n\
                      \x20         (default: available parallelism; output is identical at any N)",
@@ -480,7 +594,8 @@ fn main() {
             || id == "perf"
             || id == "perf_sim"
             || id == "perf_lang"
-            || id == "perf_net";
+            || id == "perf_net"
+            || id == "shard";
         if !known {
             eprintln!("unknown experiment '{id}' (try --list)");
             std::process::exit(2);

@@ -1269,6 +1269,7 @@ pub fn by_id(id: &str, scale: f64) -> Option<Table> {
         "perf" => perf(scale),
         "perf_sim" => perf_sim(scale),
         "perf_lang" => perf_lang(scale),
+        "shard" => crate::shard::shard_sweep(scale),
         _ => return None,
     })
 }

@@ -11,6 +11,7 @@
 pub mod experiments;
 pub mod live;
 pub mod net;
+pub mod shard;
 pub mod table;
 
 pub use table::Table;

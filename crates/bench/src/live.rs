@@ -26,8 +26,12 @@ pub fn default_worker_resources() -> Resources {
     Resources::new(8, 16 * 1024, 16 * 1024)
 }
 
-fn lnni_spec() -> LibrarySpec {
-    let mut spec = LibrarySpec::new("lnni");
+/// The LNNI library spec under an arbitrary name. The name is the routing
+/// tenant identity: a federated run can install the same function context
+/// under several names (`lnni-0`, `lnni-1`, …) to give the shard router
+/// distinct digests to spread, without changing any invocation's result.
+pub(crate) fn lnni_spec_named(name: &str) -> LibrarySpec {
+    let mut spec = LibrarySpec::new(name);
     spec.functions = vec!["infer".into()];
     spec.resources = Some(Resources::new(2, 2048, 2048));
     spec.slots = Some(2);
@@ -42,28 +46,40 @@ fn lnni_spec() -> LibrarySpec {
     spec
 }
 
-/// Install the LNNI library, submit `n` inference invocations, run to
-/// completion, and render the deterministic digest.
-pub fn run_lnni_live(mut rt: Runtime, n: u64) -> Result<String, vine_core::VineError> {
+/// Install the LNNI library into a live runtime under `name`.
+pub(crate) fn install_lnni(rt: &mut Runtime, name: &str) -> Result<(), vine_core::VineError> {
     rt.install_library(
-        lnni_spec(),
+        lnni_spec_named(name),
         vine_apps::lnni::LNNI_SOURCE,
         vec![],
         &[Value::Int(3), Value::Int(32)], // 3 layers, dim 32
-    )?;
+    )
+}
+
+/// The i-th LNNI inference call, against `library`. The arguments (and so
+/// the result, and so the digest line) depend only on `i`, never on which
+/// library name or shard served it.
+pub(crate) fn lnni_call(i: u64, library: &str) -> Result<FunctionCall, vine_core::VineError> {
+    let mut c = FunctionCall::new(
+        InvocationId(i),
+        library,
+        "infer",
+        pickle::serialize_args(&[Value::Int(i as i64 * 16), Value::Int(16)])?,
+    );
+    c.resources = Resources::new(1, 512, 512);
+    Ok(c)
+}
+
+/// Install the LNNI library, submit `n` inference invocations, run to
+/// completion, and render the deterministic digest.
+pub fn run_lnni_live(mut rt: Runtime, n: u64) -> Result<String, vine_core::VineError> {
+    install_lnni(&mut rt, "lnni")?;
     for i in 0..n {
-        let mut c = FunctionCall::new(
-            InvocationId(i),
-            "lnni",
-            "infer",
-            pickle::serialize_args(&[Value::Int(i as i64 * 16), Value::Int(16)])?,
-        );
-        c.resources = Resources::new(1, 512, 512);
-        rt.submit(WorkUnit::Call(c));
+        rt.submit(WorkUnit::Call(lnni_call(i, "lnni")?));
     }
     let outcomes = rt.run_until_idle()?;
-    // per-worker wire counters on stderr (stdout is the byte-compared
-    // digest); the in-proc transport has no wire and reports nothing
+    // per-worker traffic counters on stderr (stdout is the byte-compared
+    // digest); the in-proc transport meters frames but has no wire bytes
     let stats = rt.transport_stats();
     if !stats.workers.is_empty() || stats.handshake_rejects > 0 {
         eprint!("{}", stats.render());

@@ -224,6 +224,15 @@ impl LibrarySpec {
         self.functions.iter().any(|f| f == function)
     }
 
+    /// The **function-context digest** the shard router hashes onto the
+    /// shard ring: library identity plus everything the context retains.
+    /// Invocations of the same library land on the same shard, so a hot
+    /// function's library instances concentrate where its context already
+    /// lives instead of being rebuilt on every shard.
+    pub fn routing_digest(&self) -> ContentHash {
+        ContentHash::of_str(&self.name).combine(self.context.digest())
+    }
+
     /// Resolve the slot count for a worker of the given capacity and a
     /// per-invocation allocation.
     pub fn resolve_slots(&self, worker: &Resources, per_invocation: &Resources) -> u32 {

@@ -83,7 +83,7 @@ macro_rules! typed_id {
     ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
         $(#[$meta])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+            Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
         )]
         pub struct $name(pub $inner);
 
@@ -125,6 +125,11 @@ typed_id!(
     /// [`ContentHash`]: the id is the handle, the hash is the name used for
     /// cache lookups and peer transfers.
     FileId, u64, "f");
+typed_id!(
+    /// One scheduling shard in a federated deployment: an embedded
+    /// `vine_manager::Shard` owning a partition of the workers, behind
+    /// the routing front-end.
+    ShardId, u32, "s");
 
 #[cfg(test)]
 mod tests {

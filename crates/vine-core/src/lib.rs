@@ -41,7 +41,7 @@ pub mod trace;
 pub use config::{CostModel, ReuseLevel};
 pub use context::{ContextSpec, FileRef, LibrarySpec, SetupSpec};
 pub use error::{Result, VineError};
-pub use ids::{ContentHash, FileId, InvocationId, LibraryInstanceId, TaskId, WorkerId};
+pub use ids::{ContentHash, FileId, InvocationId, LibraryInstanceId, ShardId, TaskId, WorkerId};
 pub use resources::Resources;
 pub use task::{ExecMode, FunctionCall, TaskSpec, WorkUnit};
 pub use time::{SimDuration, SimTime};

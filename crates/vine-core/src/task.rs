@@ -172,6 +172,14 @@ impl WorkUnit {
             WorkUnit::Call(c) => c.id.to_string(),
         }
     }
+
+    /// The identifier this unit's [`Outcome`] will carry.
+    pub fn id(&self) -> UnitId {
+        match self {
+            WorkUnit::Task(t) => UnitId::Task(t.id),
+            WorkUnit::Call(c) => UnitId::Call(c.id),
+        }
+    }
 }
 
 /// The identifier of a completed unit, carried on results.

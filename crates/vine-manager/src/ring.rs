@@ -4,18 +4,86 @@
 //! name, so different libraries start their searches at different workers
 //! (spreading contexts across the cluster) while the same library's
 //! placements stay stable as long as membership is stable.
+//!
+//! The ring optionally places each member at several **virtual nodes**
+//! ([`HashRing::with_replicas`]). The manager's library-placement ring
+//! keeps the default of one point per worker — its placements are pinned
+//! bit-identical by the repro experiments — while the shard router runs
+//! with ≥64 vnodes so a handful of shards still split the key space
+//! evenly (see `router.rs`).
 
 use vine_core::ids::{ContentHash, WorkerId};
 
 /// A hash ring over workers.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct HashRing {
-    /// Sorted (point, worker) pairs.
+    /// Sorted (point, worker) pairs; each worker appears `replicas` times.
     points: Vec<(u64, WorkerId)>,
+    replicas: u32,
 }
 
-fn worker_point(w: WorkerId) -> u64 {
-    (ContentHash::of_str(&format!("ring-worker-{}", w.0)).0 >> 64) as u64
+impl Default for HashRing {
+    fn default() -> HashRing {
+        HashRing::new()
+    }
+}
+
+/// Stack formatter for ring point strings. Point hashing runs on every
+/// placement decision, so it must not heap-allocate — but replica 0 must
+/// hash the exact bytes `format!("ring-worker-{}", w.0)` produced before
+/// vnodes existed, keeping existing placements bit-identical.
+struct PointBuf {
+    buf: [u8; 64],
+    len: usize,
+}
+
+impl PointBuf {
+    fn new() -> PointBuf {
+        PointBuf {
+            buf: [0; 64],
+            len: 0,
+        }
+    }
+
+    fn push_bytes(&mut self, s: &[u8]) {
+        self.buf[self.len..self.len + s.len()].copy_from_slice(s);
+        self.len += s.len();
+    }
+
+    fn push_u64(&mut self, mut n: u64) {
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (n % 10) as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        self.push_bytes(&digits[i..]);
+    }
+
+    fn point(&self) -> u64 {
+        (ContentHash::of_bytes(&self.buf[..self.len]).0 >> 64) as u64
+    }
+}
+
+/// Ring position of `w`'s `replica`-th virtual node. Replica 0 hashes the
+/// same bytes the pre-vnode ring did.
+pub(crate) fn member_point(prefix: &[u8], id: u64, replica: u32) -> u64 {
+    let mut b = PointBuf::new();
+    b.push_bytes(prefix);
+    b.push_u64(id);
+    if replica > 0 {
+        b.push_bytes(b"#");
+        b.push_u64(replica as u64);
+    }
+    b.point()
+}
+
+fn worker_point(w: WorkerId, replica: u32) -> u64 {
+    member_point(b"ring-worker-", w.0 as u64, replica)
 }
 
 /// Ring position where the search for `key` begins.
@@ -24,24 +92,43 @@ pub fn key_point(key: &str) -> u64 {
 }
 
 impl HashRing {
+    /// One point per worker — the manager's library-placement default.
     pub fn new() -> HashRing {
-        HashRing::default()
+        HashRing::with_replicas(1)
+    }
+
+    /// A ring that places each worker at `replicas` virtual nodes.
+    pub fn with_replicas(replicas: u32) -> HashRing {
+        assert!(replicas >= 1, "a ring member needs at least one point");
+        HashRing {
+            points: Vec::new(),
+            replicas,
+        }
+    }
+
+    pub fn replicas(&self) -> u32 {
+        self.replicas
     }
 
     pub fn add(&mut self, w: WorkerId) {
-        let p = worker_point(w);
-        if let Err(idx) = self.points.binary_search(&(p, w)) {
-            self.points.insert(idx, (p, w));
+        for r in 0..self.replicas {
+            let p = worker_point(w, r);
+            if let Err(idx) = self.points.binary_search(&(p, w)) {
+                self.points.insert(idx, (p, w));
+            }
         }
     }
 
     pub fn remove(&mut self, w: WorkerId) {
-        let p = worker_point(w);
-        if let Ok(idx) = self.points.binary_search(&(p, w)) {
-            self.points.remove(idx);
+        for r in 0..self.replicas {
+            let p = worker_point(w, r);
+            if let Ok(idx) = self.points.binary_search(&(p, w)) {
+                self.points.remove(idx);
+            }
         }
     }
 
+    /// Number of points on the ring (`members × replicas`).
     pub fn len(&self) -> usize {
         self.points.len()
     }
@@ -59,24 +146,43 @@ impl HashRing {
 
     /// Index into [`HashRing::points`] where the search for `key` begins.
     pub fn start_index(&self, key: &str) -> usize {
-        match self
-            .points
-            .binary_search_by(|(p, _)| p.cmp(&key_point(key)))
-        {
+        self.start_index_at(key_point(key))
+    }
+
+    /// Like [`HashRing::start_index`] but from a precomputed ring
+    /// position — lets callers that already hold a [`ContentHash`] route
+    /// without building a key string.
+    pub fn start_index_at(&self, point: u64) -> usize {
+        match self.points.binary_search_by(|(p, _)| p.cmp(&point)) {
             Ok(i) | Err(i) => i % self.points.len().max(1),
         }
     }
 
     /// All workers in ring order, starting at the first point ≥
     /// `key_point(key)` and wrapping around — the §3.5.2 sequential check.
+    /// With vnodes, each worker is yielded once, at its first point
+    /// encountered.
     pub fn walk(&self, key: &str) -> impl Iterator<Item = WorkerId> + '_ {
-        let start = self.start_index(key);
+        self.walk_from(key_point(key))
+    }
+
+    /// [`HashRing::walk`] from a precomputed ring position.
+    pub fn walk_from(&self, point: u64) -> impl Iterator<Item = WorkerId> + '_ {
+        let start = self.start_index_at(point);
+        let mut seen: Vec<WorkerId> = Vec::new();
         self.points
             .iter()
             .cycle()
             .skip(start)
             .take(self.points.len())
-            .map(|(_, w)| *w)
+            .filter_map(move |(_, w)| {
+                if seen.contains(w) {
+                    None
+                } else {
+                    seen.push(*w);
+                    Some(*w)
+                }
+            })
     }
 }
 
@@ -160,5 +266,47 @@ mod tests {
             }
         }
         assert!(moved <= 10, "moved {moved} of 100");
+    }
+
+    #[test]
+    fn replica_zero_points_match_pre_vnode_ring() {
+        // the bit-identity anchor: replicas=1 places every worker exactly
+        // where the format!-based ring did
+        for w in [0u32, 1, 9, 10, 99, 12345, u32::MAX] {
+            let legacy = (ContentHash::of_str(&format!("ring-worker-{w}")).0 >> 64) as u64;
+            assert_eq!(worker_point(WorkerId(w), 0), legacy);
+        }
+    }
+
+    #[test]
+    fn vnode_ring_contains_replicas_and_dedups_walk() {
+        let mut r = HashRing::with_replicas(64);
+        for i in 0..4 {
+            r.add(WorkerId(i));
+        }
+        assert_eq!(r.len(), 4 * 64);
+        let seen: Vec<WorkerId> = r.walk("some-key").collect();
+        assert_eq!(seen.len(), 4, "walk yields each member once");
+        r.remove(WorkerId(2));
+        assert_eq!(r.len(), 3 * 64);
+        assert!(r.walk("some-key").all(|w| w != WorkerId(2)));
+    }
+
+    #[test]
+    fn vnodes_balance_key_ownership() {
+        // with 64 vnodes, 4 members own reasonably even key shares —
+        // the property the shard router depends on
+        let mut r = HashRing::with_replicas(64);
+        for i in 0..4 {
+            r.add(WorkerId(i));
+        }
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            let w = r.walk(&format!("key-{i}")).next().unwrap();
+            counts[w.0 as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!((400..=2200).contains(c), "member {i} owns {c} of 4000 keys");
+        }
     }
 }

@@ -1,0 +1,170 @@
+//! One scheduling shard of a federated deployment.
+//!
+//! The refactor behind federated sharding: the scheduling core
+//! ([`Manager`] — queues, `FitIndex`, placement ring, requeue) is already
+//! a pure state machine, so a *shard* is that core embedded behind a
+//! [`ShardId`] plus the counters the routing tier reports. N shards run
+//! side by side — each owns a disjoint partition of the workers and sees
+//! only the submissions the router hashes to it — and a single shard
+//! driven with the same event sequence is decision-for-decision identical
+//! to a standalone `Manager` (pinned by `tests/differential.rs`).
+
+use crate::manager::{Decision, Manager, Placement};
+use vine_core::context::LibrarySpec;
+use vine_core::ids::{ContentHash, LibraryInstanceId, ShardId, WorkerId};
+use vine_core::resources::Resources;
+use vine_core::task::{UnitId, WorkUnit};
+use vine_core::Result;
+
+/// A point-in-time load summary of one shard — what travels in the
+/// `ShardStats` routing message and fills the `repro route` stderr table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    pub shard: ShardId,
+    pub workers: usize,
+    /// Units accepted from the router since the shard started.
+    pub routed: u64,
+    /// Units completed (successfully or not).
+    pub finished: u64,
+    /// Units re-admitted after a worker or shard loss.
+    pub requeued: u64,
+    pub queued: usize,
+    pub running: usize,
+}
+
+/// An embeddable scheduling shard: a [`Manager`] core plus federation
+/// identity and load counters.
+#[derive(Default)]
+pub struct Shard {
+    id: ShardId,
+    core: Manager,
+    routed: u64,
+    finished: u64,
+    requeued: u64,
+}
+
+impl Shard {
+    pub fn new(id: ShardId) -> Shard {
+        Shard {
+            id,
+            core: Manager::new(),
+            routed: 0,
+            finished: 0,
+            requeued: 0,
+        }
+    }
+
+    pub fn id(&self) -> ShardId {
+        self.id
+    }
+
+    /// The embedded scheduling core, for calls not mirrored here.
+    pub fn core(&self) -> &Manager {
+        &self.core
+    }
+
+    pub fn core_mut(&mut self) -> &mut Manager {
+        &mut self.core
+    }
+
+    pub fn load(&self) -> ShardLoad {
+        ShardLoad {
+            shard: self.id,
+            workers: self.core.worker_count(),
+            routed: self.routed,
+            finished: self.finished,
+            requeued: self.requeued,
+            queued: self.core.queued(),
+            running: self.core.running_count(),
+        }
+    }
+
+    // ---- delegated scheduling API (same shapes as `Manager`) ----------
+
+    pub fn register_library(&mut self, spec: LibrarySpec) {
+        self.core.register_library(spec);
+    }
+
+    pub fn library_spec(&self, name: &str) -> Option<&LibrarySpec> {
+        self.core.library_spec(name)
+    }
+
+    pub fn worker_joined(&mut self, id: WorkerId, resources: Resources) {
+        self.core.worker_joined(id, resources);
+    }
+
+    /// A worker left this shard's partition (disconnect, failure, or a
+    /// rebalance moving it to another shard). Returns the in-flight units
+    /// the router must re-route — the existing `worker_left` requeue path
+    /// is exactly the cross-shard one.
+    pub fn worker_left(&mut self, id: WorkerId) -> Vec<UnitId> {
+        self.core.worker_left(id)
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.core.worker_count()
+    }
+
+    pub fn holders_of(&self, hash: ContentHash) -> impl Iterator<Item = WorkerId> + '_ {
+        self.core.holders_of(hash)
+    }
+
+    pub fn submit(&mut self, unit: WorkUnit) {
+        self.routed += 1;
+        self.core.submit(unit);
+    }
+
+    pub fn requeue(&mut self, unit: WorkUnit) {
+        self.requeued += 1;
+        self.core.requeue(unit);
+    }
+
+    pub fn pending(&self) -> usize {
+        self.core.pending()
+    }
+
+    pub fn queued(&self) -> usize {
+        self.core.queued()
+    }
+
+    pub fn running_count(&self) -> usize {
+        self.core.running_count()
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.core.is_idle()
+    }
+
+    pub fn next_decision(&mut self) -> Option<Decision> {
+        self.core.next_decision()
+    }
+
+    pub fn library_ready(&mut self, worker: WorkerId, instance: LibraryInstanceId) -> Result<()> {
+        self.core.library_ready(worker, instance)
+    }
+
+    pub fn library_startup_failed(
+        &mut self,
+        worker: WorkerId,
+        instance: LibraryInstanceId,
+    ) -> Result<()> {
+        self.core.library_startup_failed(worker, instance)
+    }
+
+    pub fn unit_finished(&mut self, unit: UnitId) -> Result<Placement> {
+        self.finished += 1;
+        self.core.unit_finished(unit)
+    }
+
+    pub fn evict_instance(&mut self, worker: WorkerId, instance: LibraryInstanceId) -> Result<()> {
+        self.core.evict_instance(worker, instance)
+    }
+
+    pub fn instances(&self) -> impl Iterator<Item = (WorkerId, &vine_worker::LibraryInstance)> {
+        self.core.instances()
+    }
+
+    pub fn placement_of(&self, unit: UnitId) -> Option<Placement> {
+        self.core.placement_of(unit)
+    }
+}

@@ -1,0 +1,155 @@
+//! Rebalance-churn properties of the consistent ring and the shard
+//! router: membership changes move only the keys they must (~K/N), never
+//! strand a key or a worker without an owner, and a departing shard
+//! surrenders exactly its in-flight ledger for re-routing.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vine_core::ids::{InvocationId, ShardId, WorkerId};
+use vine_core::task::{FunctionCall, WorkUnit};
+use vine_manager::{HashRing, ShardRouter};
+
+const KEYS: u64 = 512;
+
+/// Owner of every probe key under the current membership.
+fn owners(ring: &HashRing) -> Vec<Option<WorkerId>> {
+    (0..KEYS)
+        .map(|k| ring.walk(&format!("churn-key-{k}")).next())
+        .collect()
+}
+
+fn vnode_ring(members: &[u32], vnodes: u32) -> HashRing {
+    let mut ring = HashRing::with_replicas(vnodes);
+    for &m in members {
+        ring.add(WorkerId(m));
+    }
+    ring
+}
+
+fn arb_members() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..64, 2..10).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    /// Adding one member moves keys only *onto* the newcomer — every key
+    /// that does not land there keeps its previous owner — and the moved
+    /// share stays near K/(N+1).
+    #[test]
+    fn join_moves_only_a_fair_share_onto_the_newcomer(
+        members in arb_members(),
+        newcomer in 64u32..96,
+        vnodes in prop_oneof![Just(16u32), Just(32), Just(64)],
+    ) {
+        let mut ring = vnode_ring(&members, vnodes);
+        let before = owners(&ring);
+        ring.add(WorkerId(newcomer));
+        let after = owners(&ring);
+
+        let mut moved = 0u64;
+        for (b, a) in before.iter().zip(&after) {
+            if a != b {
+                prop_assert_eq!(*a, Some(WorkerId(newcomer)));
+                moved += 1;
+            }
+        }
+        let ideal = KEYS / (members.len() as u64 + 1);
+        prop_assert!(moved <= ideal * 3,
+            "join remapped {} keys; ideal share is {}", moved, ideal);
+    }
+
+    /// Removing one member moves keys only *off* the departed — survivors
+    /// keep every key they already owned — and nothing is orphaned.
+    #[test]
+    fn leave_moves_only_the_departed_members_keys(
+        members in arb_members(),
+        pick in 0usize..4096,
+        vnodes in prop_oneof![Just(16u32), Just(32), Just(64)],
+    ) {
+        let mut ring = vnode_ring(&members, vnodes);
+        let victim = WorkerId(members[pick % members.len()]);
+        let before = owners(&ring);
+        ring.remove(victim);
+        let after = owners(&ring);
+
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a.is_some(), "a key was orphaned by a leave");
+            if *b != Some(victim) {
+                prop_assert_eq!(a, b);
+            } else {
+                prop_assert_ne!(*a, Some(victim));
+            }
+        }
+    }
+
+    /// Under arbitrary shard join/leave churn, the router's worker
+    /// partition always covers the whole fleet disjointly, with every
+    /// joined shard present.
+    #[test]
+    fn worker_partition_survives_membership_churn(
+        churn in prop::collection::vec((0u32..8, any::<bool>()), 1..24),
+        fleet in 8usize..64,
+    ) {
+        let mut sr = ShardRouter::new();
+        let mut live: Vec<u32> = Vec::new();
+        for (s, join) in churn {
+            if join {
+                sr.shard_joined(ShardId(s));
+                if !live.contains(&s) { live.push(s); }
+            } else if live.len() > 1 && live.contains(&s) {
+                sr.shard_left(ShardId(s));
+                live.retain(|x| *x != s);
+            }
+        }
+        if live.is_empty() {
+            sr.shard_joined(ShardId(0));
+            live.push(0);
+        }
+
+        let workers: Vec<WorkerId> = (0..fleet as u32).map(WorkerId).collect();
+        let parts = sr.partition(&workers);
+        prop_assert_eq!(parts.len(), live.len());
+        let mut seen: Vec<WorkerId> = parts.values().flatten().copied().collect();
+        prop_assert_eq!(seen.len(), fleet);
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), fleet);
+    }
+
+    /// A departing shard surrenders exactly its in-flight ledger, and
+    /// re-routing lands every orphan on a surviving shard.
+    #[test]
+    fn shard_leave_surrenders_exactly_its_ledger(
+        shards in 2u32..8,
+        libs in 1u32..24,
+        n in 16u64..200,
+        pick in 0usize..4096,
+    ) {
+        let mut sr = ShardRouter::new();
+        for s in 0..shards {
+            sr.shard_joined(ShardId(s));
+        }
+        let mut ledger: BTreeMap<ShardId, u64> = BTreeMap::new();
+        for i in 0..n {
+            let unit = WorkUnit::Call(FunctionCall::new(
+                InvocationId(i), format!("churn-lib-{}", i % libs as u64), "f", vec![]));
+            let owner = sr.route(unit).expect("shards joined");
+            *ledger.entry(owner).or_default() += 1;
+        }
+        let victim = ShardId((pick % shards as usize) as u32);
+        let expected = ledger.get(&victim).copied().unwrap_or(0);
+        let orphans = sr.shard_left(victim);
+        prop_assert_eq!(orphans.len() as u64, expected);
+        prop_assert_eq!(sr.rerouted(), expected);
+        for unit in orphans {
+            let again = sr.route(unit).expect("survivors remain");
+            prop_assert_ne!(again, victim);
+        }
+        // conservation: every unit is outstanding on exactly one live shard
+        let total: usize = sr.shards().map(|s| sr.outstanding(s)).sum();
+        prop_assert_eq!(total as u64, n);
+    }
+}

@@ -9,6 +9,9 @@
 //!   stateless tasks, and file-staging directives;
 //! * [`library`] — worker ↔ library: the §3.4 step 1–4 daemon protocol.
 //!
+//! Federated deployments add a third plane, [`routing`] — router ↔ shard:
+//! shard join/leave, submission forwarding, and load reports.
+//!
 //! Both planes are plain serde types with no substrate baked in. The
 //! in-process runtime moves them over channels untouched; the TCP runtime
 //! moves them through [`framing`] — a length-prefixed codec with explicit
@@ -18,9 +21,11 @@
 pub mod framing;
 pub mod library;
 pub mod messages;
+pub mod routing;
 
 pub use framing::{
     decode_frame, encode_frame, read_frame, write_frame, Frame, FrameDecoder, FrameError, MAX_FRAME,
 };
 pub use library::{LibraryToWorker, WorkerToLibrary};
 pub use messages::{CompiledBlob, LibraryImage, LibrarySetup, ManagerToWorker, WorkerToManager};
+pub use routing::{render_shard_stats, RouterToShard, ShardStats, ShardToRouter};

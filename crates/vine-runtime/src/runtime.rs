@@ -73,6 +73,9 @@ pub struct Runtime {
     module_names: BTreeSet<String>,
     /// Capacity of each admitted worker, retained for placement pre-flight.
     worker_caps: Vec<Resources>,
+    /// Units re-admitted after a worker loss or an explicit worker-side
+    /// requeue — the load-report counter a federated shard exposes.
+    requeues: u64,
     /// Compiled library images interned by source digest: installing the
     /// same source N times (or into N workers) compiles once.
     images: CompiledImageStore,
@@ -105,6 +108,7 @@ impl Runtime {
             idle_timeout: cfg.idle_timeout,
             module_names,
             worker_caps: Vec::new(),
+            requeues: 0,
             images: CompiledImageStore::new(),
         };
         while rt.connected.len() < cfg.workers {
@@ -307,6 +311,7 @@ impl Runtime {
         for unit in lost {
             if let Some(w) = self.in_flight.remove(&unit) {
                 self.dispatch_times.remove(&unit);
+                self.requeues += 1;
                 self.mgr.requeue(w);
             }
         }
@@ -525,6 +530,7 @@ impl Runtime {
                         if self.in_flight.remove(&id).is_some() {
                             self.dispatch_times.remove(&id);
                             self.mgr.unit_finished(id)?;
+                            self.requeues += 1;
                             self.mgr.requeue(unit);
                         }
                     }
@@ -558,10 +564,26 @@ impl Runtime {
         self.mgr.instances().map(|(w, l)| (w, l.served)).collect()
     }
 
-    /// A snapshot of the transport's per-worker traffic counters (empty
-    /// for backends without a wire).
+    /// A snapshot of the transport's per-worker traffic counters (byte
+    /// counters are zero for backends without a wire).
     pub fn transport_stats(&self) -> TransportStats {
         self.transport.stats()
+    }
+
+    /// Units admitted but not yet dispatched (a load-report input).
+    pub fn queued(&self) -> usize {
+        self.mgr.queued()
+    }
+
+    /// Units currently dispatched to workers (a load-report input).
+    pub fn running(&self) -> usize {
+        self.mgr.running_count()
+    }
+
+    /// Units re-admitted after worker loss since boot (a load-report
+    /// counter).
+    pub fn requeues(&self) -> u64 {
+        self.requeues
     }
 
     /// Shut the cluster down, stopping every worker.

@@ -91,9 +91,9 @@ pub trait Transport: Send {
     /// Idempotent.
     fn shutdown(&mut self);
 
-    /// A snapshot of per-worker traffic counters. Backends that do not
-    /// meter anything (in-process channels have no wire) return the empty
-    /// default.
+    /// A snapshot of per-worker traffic counters. Every backend meters
+    /// frames; byte counters stay zero on backends without a wire
+    /// (in-process channels move typed messages, not encoded bytes).
     fn stats(&self) -> TransportStats {
         TransportStats::default()
     }
@@ -178,6 +178,10 @@ pub struct InProcTransport {
     /// Join announcements queued at construction (and by [`add_worker`]).
     pending: VecDeque<TransportEvent>,
     next_id: u32,
+    /// Per-worker `(frames_in, frames_out)` message counters — the
+    /// in-proc analogue of the reactor's wire metering. Entries survive
+    /// worker death so a post-run snapshot covers the whole fleet.
+    counters: BTreeMap<WorkerId, (u64, u64)>,
 }
 
 impl InProcTransport {
@@ -191,6 +195,7 @@ impl InProcTransport {
             registry,
             pending: VecDeque::new(),
             next_id: 0,
+            counters: BTreeMap::new(),
         };
         for _ in 0..workers {
             t.add_worker(resources);
@@ -207,6 +212,7 @@ impl InProcTransport {
             id,
             spawn_worker(id, self.registry.clone(), self.events_tx.clone()),
         );
+        self.counters.insert(id, (0, 0));
         self.pending.push_back(TransportEvent::Joined {
             worker: id,
             resources,
@@ -222,7 +228,9 @@ impl Transport for InProcTransport {
             .ok_or(VineError::WorkerLost(worker))?
             .tx
             .send(msg)
-            .map_err(|_| VineError::WorkerLost(worker))
+            .map_err(|_| VineError::WorkerLost(worker))?;
+        self.counters.entry(worker).or_default().1 += 1;
+        Ok(())
     }
 
     fn recv_timeout(
@@ -233,7 +241,10 @@ impl Transport for InProcTransport {
             return Ok(ev);
         }
         match self.events.recv_timeout(timeout) {
-            Ok((worker, msg)) => Ok(TransportEvent::Message { worker, msg }),
+            Ok((worker, msg)) => {
+                self.counters.entry(worker).or_default().0 += 1;
+                Ok(TransportEvent::Message { worker, msg })
+            }
             Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
         }
@@ -243,10 +254,9 @@ impl Transport for InProcTransport {
         if let Some(ev) = self.pending.pop_front() {
             return Some(ev);
         }
-        self.events
-            .try_recv()
-            .ok()
-            .map(|(worker, msg)| TransportEvent::Message { worker, msg })
+        let (worker, msg) = self.events.try_recv().ok()?;
+        self.counters.entry(worker).or_default().0 += 1;
+        Some(TransportEvent::Message { worker, msg })
     }
 
     fn disconnect(&mut self, worker: WorkerId) {
@@ -258,12 +268,34 @@ impl Transport for InProcTransport {
         }
     }
 
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            workers: self
+                .counters
+                .iter()
+                .map(|(&worker, &(fi, fo))| WorkerTransportStats {
+                    worker,
+                    frames_in: fi,
+                    frames_out: fo,
+                    // channels carry typed messages: no wire, no bytes
+                    bytes_in: 0,
+                    bytes_out: 0,
+                    queue_hwm_bytes: 0,
+                    alive: self.workers.contains_key(&worker),
+                })
+                .collect(),
+            handshake_rejects: 0,
+        }
+    }
+
     fn shutdown(&mut self) {
         // the broadcast pattern in miniature: one Frame, N typed clones —
         // channel substrates never touch the bytes
         if let Ok(frame) = Frame::encode_once(ManagerToWorker::Shutdown) {
-            for (_, h) in self.workers.iter_mut() {
-                let _ = h.tx.send(frame.to_message());
+            for (id, h) in self.workers.iter_mut() {
+                if h.tx.send(frame.to_message()).is_ok() {
+                    self.counters.entry(*id).or_default().1 += 1;
+                }
             }
         }
         for (_, mut h) in std::mem::take(&mut self.workers) {

@@ -22,7 +22,9 @@ pub mod cluster;
 pub mod engine;
 pub mod reference;
 pub mod run;
+pub mod sharded;
 
 pub use cluster::{assign_gflops, paper_groups, MachineGroup};
 pub use reference::simulate_reference;
 pub use run::{simulate, SimConfig, SimResult, Workload};
+pub use sharded::{simulate_sharded, ShardedResult};

@@ -4,9 +4,12 @@
 # pre-flight passes (lint must find no errors in the shipped sources;
 # analyze must run clean and its hoisting report is kept as an artifact),
 # a determinism smoke run (the repro sweep must be byte-identical with
-# and without cross-simulation parallelism), and the TCP loopback smoke
+# and without cross-simulation parallelism), the TCP loopback smoke
 # (a multi-process run over framed sockets must byte-match the in-process
-# run, with and without a worker killed mid-run).
+# run, with and without a worker killed mid-run), the federated-sharding
+# smoke (router + 2 shard processes byte-match the single manager, with
+# and without a shard killed -9 mid-run), and the benchmark trajectory
+# table merged from every BENCH_*.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,3 +46,13 @@ echo "repro --jobs determinism: OK (byte-identical at --jobs 1 and 4)"
 # local `repro perf --net`; CI keeps the bounded variant)
 ./target/release/repro perf --net --conns 256 --scale 0.1
 echo "reactor connection-scaling smoke: OK (BENCH_net.json written)"
+
+# federated sharding: the simulated 1→8 shard sweep (bounded; the
+# committed BENCH_shard.json is the full-scale run), then the live
+# 2-shard byte-identity + kill -9 smoke
+./target/release/repro shard --scale 0.02
+echo "federated sharding sweep: OK (BENCH_shard.json written)"
+./scripts/shard_smoke.sh ./target/release/repro
+
+# one-page performance picture across every benchmark artifact
+./scripts/bench_summary.sh
